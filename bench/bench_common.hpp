@@ -1,0 +1,39 @@
+// Shared helpers for the benchmark binaries.
+//
+// Every bench prints (a) a paper-style table of the simulated metrics it
+// reproduces — virtual latencies, message counts, detection quality — and
+// (b) google-benchmark wall-clock timings of the simulator itself. The
+// table is the artifact matching EXPERIMENTS.md; the timings document the
+// tool's own cost.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "runtime/process.hpp"
+#include "runtime/world.hpp"
+#include "util/stats.hpp"
+
+namespace dsmr::bench {
+
+inline runtime::WorldConfig world_config(int nprocs, core::DetectorMode mode,
+                                         core::Transport transport,
+                                         std::uint64_t seed = 1) {
+  runtime::WorldConfig config;
+  config.nprocs = nprocs;
+  config.mode = mode;
+  config.transport = transport;
+  config.seed = seed;
+  return config;
+}
+
+inline const char* mode_name(core::DetectorMode mode) { return core::to_string(mode); }
+inline const char* transport_name(core::Transport t) { return core::to_string(t); }
+
+/// Emits a titled table to stdout.
+inline void print_table(const std::string& title, const util::Table& table) {
+  std::printf("\n%s\n%s", title.c_str(), table.render().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace dsmr::bench

@@ -1,0 +1,147 @@
+// EXPERIMENTS: CLAIM-V.A2 (+ FIG2 accounting).
+//
+// "Our algorithm has an overhead on ... communication performance."
+// Quantified: virtual put/get latency, messages per operation, and bytes
+// per operation, for the detector off vs on, across the three wire
+// transports and process counts around the paper's debugging scale.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/assert.hpp"
+
+namespace dsmr::bench {
+namespace {
+
+using mem::GlobalAddress;
+using runtime::Process;
+using runtime::World;
+
+struct OpCosts {
+  double put_virtual_ns = 0;
+  double get_virtual_ns = 0;
+  double put_messages = 0;
+  double get_messages = 0;
+  double put_bytes = 0;
+  double get_bytes = 0;
+};
+
+/// Measures steady-state per-op virtual cost for one configuration: one
+/// initiator hammering a remote area (no contention — pure protocol cost).
+OpCosts measure(int nprocs, core::DetectorMode mode, core::Transport transport) {
+  constexpr int kOps = 64;
+  OpCosts costs;
+
+  {  // puts
+    auto config = world_config(nprocs, mode, transport);
+    config.latency.jitter_ns = 0;
+    World world(config);
+    const GlobalAddress x = world.alloc(nprocs - 1, 8, "x");
+    sim::Time busy = 0;
+    world.spawn(0, [x, &busy](Process& p) -> sim::Task {
+      const sim::Time start = p.now();
+      for (int i = 0; i < kOps; ++i) co_await p.put_value(x, std::uint64_t{1});
+      busy = p.now() - start;
+    });
+    DSMR_CHECK(world.run().completed);
+    costs.put_virtual_ns = static_cast<double>(busy) / kOps;
+    costs.put_messages =
+        static_cast<double>(world.traffic().total_messages) / kOps;
+    costs.put_bytes = static_cast<double>(world.traffic().total_bytes) / kOps;
+  }
+  {  // gets
+    auto config = world_config(nprocs, mode, transport);
+    config.latency.jitter_ns = 0;
+    World world(config);
+    const GlobalAddress x = world.alloc(nprocs - 1, 8, "x");
+    sim::Time busy = 0;
+    world.spawn(0, [x, &busy](Process& p) -> sim::Task {
+      const sim::Time start = p.now();
+      for (int i = 0; i < kOps; ++i) co_await p.get(x, 8);
+      busy = p.now() - start;
+    });
+    DSMR_CHECK(world.run().completed);
+    costs.get_virtual_ns = static_cast<double>(busy) / kOps;
+    costs.get_messages =
+        static_cast<double>(world.traffic().total_messages) / kOps;
+    costs.get_bytes = static_cast<double>(world.traffic().total_bytes) / kOps;
+  }
+  return costs;
+}
+
+void BM_PutProtocol(benchmark::State& state) {
+  const auto mode = static_cast<core::DetectorMode>(state.range(0));
+  const auto transport = static_cast<core::Transport>(state.range(1));
+  OpCosts costs;
+  for (auto _ : state) costs = measure(4, mode, transport);
+  state.counters["virt_put_ns"] = costs.put_virtual_ns;
+  state.counters["msgs_per_put"] = costs.put_messages;
+}
+BENCHMARK(BM_PutProtocol)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2}})
+    ->ArgNames({"mode", "transport"});
+
+void print_summary() {
+  {
+    util::Table table({"detector", "transport", "put ns", "x base", "msgs/put",
+                       "get ns", "x base", "msgs/get", "clock B/put"});
+    const OpCosts base = measure(4, core::DetectorMode::kOff, core::Transport::kHomeSide);
+    struct Config {
+      core::DetectorMode mode;
+      core::Transport transport;
+    };
+    const Config configs[] = {
+        {core::DetectorMode::kOff, core::Transport::kHomeSide},
+        {core::DetectorMode::kDualClock, core::Transport::kSeparate},
+        {core::DetectorMode::kDualClock, core::Transport::kPiggyback},
+        {core::DetectorMode::kDualClock, core::Transport::kHomeSide},
+    };
+    for (const auto& config : configs) {
+      const OpCosts costs = measure(4, config.mode, config.transport);
+      table.add_row({mode_name(config.mode), transport_name(config.transport),
+                     util::Table::fmt(costs.put_virtual_ns, 0),
+                     util::Table::fmt(costs.put_virtual_ns / base.put_virtual_ns, 2),
+                     util::Table::fmt(costs.put_messages, 1),
+                     util::Table::fmt(costs.get_virtual_ns, 0),
+                     util::Table::fmt(costs.get_virtual_ns / base.get_virtual_ns, 2),
+                     util::Table::fmt(costs.get_messages, 1),
+                     util::Table::fmt(costs.put_bytes - base.put_bytes, 0)});
+    }
+    print_table(
+        "=== CLAIM-V.A2: communication overhead of detection (n=4, virtual time) ===",
+        table);
+  }
+  {
+    // Scaling with the process count: clocks grow linearly with n (§IV.C),
+    // so piggybacked bytes grow too; message counts stay flat.
+    util::Table table({"n procs", "put ns (off)", "put ns (dual)", "overhead",
+                       "clock B/put", "msgs/put"});
+    for (const int n : {2, 4, 8, 16, 32}) {
+      const OpCosts off = measure(n, core::DetectorMode::kOff, core::Transport::kHomeSide);
+      const OpCosts dual =
+          measure(n, core::DetectorMode::kDualClock, core::Transport::kHomeSide);
+      table.add_row({util::Table::fmt_int(static_cast<std::uint64_t>(n)),
+                     util::Table::fmt(off.put_virtual_ns, 0),
+                     util::Table::fmt(dual.put_virtual_ns, 0),
+                     util::Table::fmt(dual.put_virtual_ns / off.put_virtual_ns, 3),
+                     util::Table::fmt(dual.put_bytes - off.put_bytes, 0),
+                     util::Table::fmt(dual.put_messages, 1)});
+    }
+    print_table(
+        "=== CLAIM-V.A2: overhead vs process count (home-side transport) ===\n"
+        "(\"debugging happens at ~10 processes\": the overhead stays modest there)",
+        table);
+  }
+}
+
+}  // namespace
+}  // namespace dsmr::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dsmr::bench::print_summary();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// EXPERIMENTS: CLAIM-V.B — "a process can perform a reduction ... without
+// any participation for the other processes, by fetching the data remotely."
+//
+// Compares the future-work one-sided reduction against the conventional
+// collective allreduce: virtual completion time, messages, and who has to
+// participate. The one-sided version loads only the root; the collective
+// involves everyone but synchronizes as a side effect.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pgas/collectives.hpp"
+#include "util/assert.hpp"
+
+namespace dsmr::bench {
+namespace {
+
+using mem::GlobalAddress;
+using runtime::Process;
+using runtime::World;
+
+struct ReduceCosts {
+  double virtual_ns = 0;
+  double messages = 0;
+  double data_messages = 0;
+};
+
+ReduceCosts measure_onesided(int nprocs) {
+  auto config = world_config(nprocs, core::DetectorMode::kDualClock,
+                             core::Transport::kHomeSide);
+  config.latency.jitter_ns = 0;
+  World world(config);
+  std::vector<GlobalAddress> cells;
+  for (Rank r = 0; r < nprocs; ++r) cells.push_back(world.alloc(r, 8, "c"));
+
+  sim::Time reduce_time = 0;
+  for (Rank r = 0; r < nprocs; ++r) {
+    world.spawn(r, [cells, r, &reduce_time, &world](Process& p) -> sim::Task {
+      pgas::Team team(p);
+      co_await p.put_value(cells[static_cast<std::size_t>(r)],
+                           static_cast<std::uint64_t>(r));
+      co_await team.barrier();
+      if (p.rank() == 0) {
+        world.reset_traffic();  // measure only the reduction itself.
+        const sim::Time start = p.now();
+        co_await pgas::onesided_reduce(
+            p, cells, std::uint64_t{0},
+            [](std::uint64_t a, std::uint64_t b) { return a + b; });
+        reduce_time = p.now() - start;
+      }
+    });
+  }
+  DSMR_CHECK(world.run().completed);
+  return {static_cast<double>(reduce_time),
+          static_cast<double>(world.traffic().total_messages),
+          static_cast<double>(world.traffic().data_path_messages)};
+}
+
+ReduceCosts measure_collective(int nprocs) {
+  auto config = world_config(nprocs, core::DetectorMode::kDualClock,
+                             core::Transport::kHomeSide);
+  config.latency.jitter_ns = 0;
+  World world(config);
+  sim::Time reduce_time = 0;
+  for (Rank r = 0; r < nprocs; ++r) {
+    world.spawn(r, [r, &reduce_time, &world](Process& p) -> sim::Task {
+      pgas::Team team(p);
+      co_await team.barrier();
+      if (p.rank() == 0) world.reset_traffic();
+      const sim::Time start = p.now();
+      co_await team.allreduce(static_cast<std::uint64_t>(r),
+                              [](std::uint64_t a, std::uint64_t b) { return a + b; });
+      if (p.rank() == 0) reduce_time = p.now() - start;
+    });
+  }
+  DSMR_CHECK(world.run().completed);
+  return {static_cast<double>(reduce_time),
+          static_cast<double>(world.traffic().total_messages),
+          static_cast<double>(world.traffic().data_path_messages)};
+}
+
+void BM_OneSidedReduce(benchmark::State& state) {
+  const int nprocs = static_cast<int>(state.range(0));
+  ReduceCosts costs;
+  for (auto _ : state) costs = measure_onesided(nprocs);
+  state.counters["virtual_ns"] = costs.virtual_ns;
+  state.counters["messages"] = costs.messages;
+}
+BENCHMARK(BM_OneSidedReduce)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->ArgName("n");
+
+void BM_CollectiveAllreduce(benchmark::State& state) {
+  const int nprocs = static_cast<int>(state.range(0));
+  ReduceCosts costs;
+  for (auto _ : state) costs = measure_collective(nprocs);
+  state.counters["virtual_ns"] = costs.virtual_ns;
+  state.counters["messages"] = costs.messages;
+}
+BENCHMARK(BM_CollectiveAllreduce)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->ArgName("n");
+
+void print_summary() {
+  util::Table table({"n procs", "one-sided ns", "msgs", "collective ns", "msgs",
+                     "one-sided/collective"});
+  for (const int n : {2, 4, 8, 16, 32}) {
+    const auto onesided = measure_onesided(n);
+    const auto collective = measure_collective(n);
+    table.add_row({util::Table::fmt_int(static_cast<std::uint64_t>(n)),
+                   util::Table::fmt(onesided.virtual_ns, 0),
+                   util::Table::fmt(onesided.messages, 0),
+                   util::Table::fmt(collective.virtual_ns, 0),
+                   util::Table::fmt(collective.messages, 0),
+                   util::Table::fmt(onesided.virtual_ns / collective.virtual_ns, 2)});
+  }
+  print_table(
+      "=== CLAIM-V.B: one-sided (non-collective) reduction vs allreduce ===\n"
+      "one-sided: root fetches serially, O(n) root-side latency, targets idle;\n"
+      "collective: O(log n) critical path, everyone participates",
+      table);
+}
+
+}  // namespace
+}  // namespace dsmr::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dsmr::bench::print_summary();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// EXPERIMENTS: SCALE — simulator throughput and detector cost at and beyond
+// the paper's debugging scale ("typically, about 10 processes", §V.A).
+//
+// Wall-clock cost of simulating a fixed workload as the process count and
+// detector mode vary: the tool itself must stay cheap where it is meant to
+// be used.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "util/assert.hpp"
+#include "workload/workloads.hpp"
+
+namespace dsmr::bench {
+namespace {
+
+using runtime::World;
+
+std::uint64_t run_workload(int nprocs, core::DetectorMode mode) {
+  auto config = world_config(nprocs, mode, core::Transport::kHomeSide, 7);
+  config.max_events = 10'000'000;
+  World world(config);
+  workload::RandomConfig wl;
+  wl.areas = nprocs;
+  wl.ops_per_proc = 50;
+  wl.write_fraction = 0.5;
+  wl.barrier_every = 10;
+  workload::spawn_random(world, wl);
+  const auto report = world.run();
+  DSMR_CHECK(report.completed);
+  return report.engine_events;
+}
+
+void BM_SimulatedWorkload(benchmark::State& state) {
+  const int nprocs = static_cast<int>(state.range(0));
+  const auto mode = static_cast<core::DetectorMode>(state.range(1));
+  std::uint64_t events = 0;
+  std::uint64_t total_ops = 0;
+  for (auto _ : state) {
+    events = run_workload(nprocs, mode);
+    total_ops += static_cast<std::uint64_t>(nprocs) * 50;
+  }
+  state.counters["engine_events"] = static_cast<double>(events);
+  state.counters["ops_per_sec"] = benchmark::Counter(
+      static_cast<double>(total_ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatedWorkload)
+    ->ArgsProduct({{2, 4, 8, 10, 16, 32}, {0, 2}})
+    ->ArgNames({"n", "mode"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dsmr::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// The paper's §IV.D motivating pattern: a master/worker computation whose
+// workers put results into the master's public memory. The workers race
+// with each other *by design* — the paper's point is that such races must
+// be signaled to the user but must never abort the program.
+//
+//   ./master_worker [--workers N] [--tasks N] [--seed S]
+#include <cstdio>
+
+#include "runtime/process.hpp"
+#include "runtime/world.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+using namespace dsmr;
+
+namespace {
+
+constexpr std::uint64_t kDoneTag = 0xD02E;
+
+sim::Task worker(runtime::Process& p, mem::GlobalAddress result_slot, int tasks,
+                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (int t = 0; t < tasks; ++t) {
+    co_await p.compute(1'000 + rng.below(20'000));  // simulate real work.
+    const std::uint64_t result = static_cast<std::uint64_t>(p.rank()) * 100 + static_cast<std::uint64_t>(t);
+    co_await p.put_value(result_slot, result);  // the intentional race.
+  }
+  p.signal(0, kDoneTag);
+  std::printf("[worker P%d] finished %d tasks at t=%llu ns\n", p.rank(), tasks,
+              static_cast<unsigned long long>(p.now()));
+}
+
+sim::Task master(runtime::Process& p, mem::GlobalAddress result_slot) {
+  for (int w = 1; w < p.nprocs(); ++w) {
+    co_await p.wait_signal(kDoneTag);
+  }
+  // All done-signals happened-before this read: the master's read is clean.
+  const auto last = co_await p.get_value<std::uint64_t>(result_slot);
+  std::printf("[master] last result in the slot: %llu\n",
+              static_cast<unsigned long long>(last));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv, "[--workers N] [--tasks N] [--seed S]");
+  const auto workers = static_cast<int>(cli.get_int("workers", 3));
+  const auto tasks = static_cast<int>(cli.get_int("tasks", 2));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  cli.finish();
+
+  runtime::WorldConfig config;
+  config.nprocs = workers + 1;
+  config.seed = seed;
+  config.print_races = true;
+  runtime::World world(config);
+
+  const auto result_slot = world.alloc(0, sizeof(std::uint64_t), "result");
+
+  world.spawn(0, [&](runtime::Process& p) { return master(p, result_slot); });
+  util::Rng seeder(seed);
+  for (Rank r = 1; r <= workers; ++r) {
+    const std::uint64_t worker_seed = seeder.next();
+    world.spawn(r, [&, worker_seed](runtime::Process& p) {
+      return worker(p, result_slot, tasks, worker_seed);
+    });
+  }
+
+  const auto report = world.run();
+  std::printf("\n--- master/worker summary ---\n");
+  std::printf("completed:    %s  <- races are benign: execution never aborts\n",
+              report.completed ? "yes" : "NO");
+  std::printf("race reports: %llu (expected > 0 for %d workers sharing one slot)\n",
+              static_cast<unsigned long long>(report.race_count), workers);
+  std::printf("every report names the contended area; none involved the master's\n"
+              "final read, which the done-signals causally ordered.\n");
+  return 0;
+}

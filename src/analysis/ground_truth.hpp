@@ -1,0 +1,124 @@
+// Offline ground truth: the full happens-before analysis over the event log.
+//
+// The paper's online algorithm compares each access only against the area's
+// *latest* access/write clocks. This module recomputes races over *all*
+// conflicting pairs, giving:
+//  * a soundness oracle — every online report must correspond to a truly
+//    racing conflicting pair (precision 1.0, asserted by property tests);
+//  * a completeness measure — the online scheme's pairwise recall (< 1 in
+//    general: a race hidden behind a later ordered access is missed);
+//  * the §IV.C clock-truncation ablation: clocks projected onto k < n
+//    components can only lose concurrency, so truncation produces false
+//    negatives (never false positives) — measured per k.
+//
+// Race definition (matching the model's semantics): for two conflicting
+// accesses applied at the home as a then b,
+//
+//    race(a, b)  ⇔  rank(a) ≠ rank(b)  ∧  ¬(apply_clock(a) ≤ issue_clock(b))
+//
+// i.e. b's initiator could not have known a's application, so a legal
+// execution exists in which the applications land in the other order.
+// Same-rank pairs are ordered by program order and the FIFO channel. This is
+// exactly the predicate the online detector evaluates against the latest
+// access — hence the structural precision guarantee.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/event_log.hpp"
+#include "core/race_report.hpp"
+#include "util/types.hpp"
+
+namespace dsmr::analysis {
+
+/// An unordered conflicting pair of access events (ids, first < second).
+struct RacePair {
+  std::uint64_t first = 0;
+  std::uint64_t second = 0;
+
+  bool operator<(const RacePair& other) const {
+    return std::pair{first, second} < std::pair{other.first, other.second};
+  }
+  bool operator==(const RacePair& other) const = default;
+};
+
+/// A shared datum's identity: (home rank, area id).
+using AreaKey = std::pair<Rank, std::uint32_t>;
+
+struct GroundTruth {
+  std::set<RacePair> pairs;             ///< all truly racing conflicting pairs.
+  std::set<AreaKey> racy_areas;         ///< areas with at least one racing pair.
+  std::uint64_t conflicting_pairs = 0;  ///< pairs examined (≥1 write, same area,
+                                        ///< different ranks).
+  std::uint64_t ordered_pairs = 0;      ///< conflicting but causally ordered.
+  std::uint64_t unapplied_events = 0;   ///< events never applied (crashed run).
+};
+
+/// Enumerates all ground-truth races. O(m²) per area — intended for
+/// test/bench scale, as is the paper's debugging scenario ("typically,
+/// about 10 processes").
+GroundTruth compute_ground_truth(const core::EventLog& log);
+
+/// §IV.C ablation: the same analysis with every clock truncated to its
+/// first `k` components. Projection preserves domination, so truncation can
+/// only *miss* races — `missed` counts the false negatives at width k.
+struct TruncationPoint {
+  std::size_t k = 0;
+  std::uint64_t detected = 0;  ///< racing pairs still seen at width k.
+  std::uint64_t missed = 0;    ///< full races invisible at width k.
+};
+std::vector<TruncationPoint> truncation_sweep(const core::EventLog& log,
+                                              std::size_t nprocs);
+
+/// Online-vs-truth accuracy.
+struct Accuracy {
+  std::uint64_t truth_pairs = 0;
+  std::uint64_t reported_pairs = 0;   ///< unique (prior, current) pairs reported.
+  std::uint64_t true_reports = 0;     ///< reported pairs present in ground truth.
+  std::uint64_t truth_areas = 0;
+  std::uint64_t reported_areas = 0;   ///< areas flagged online.
+  std::uint64_t true_report_areas = 0;  ///< truth areas that were flagged.
+
+  double precision() const {
+    return reported_pairs == 0 ? 1.0
+                               : static_cast<double>(true_reports) /
+                                     static_cast<double>(reported_pairs);
+  }
+  double pair_recall() const {
+    return truth_pairs == 0 ? 1.0
+                            : static_cast<double>(true_reports) /
+                                  static_cast<double>(truth_pairs);
+  }
+  /// "Did the detector flag the datum at all" — the metric that matters for
+  /// debugging, and the one where the paper's scheme shines.
+  double area_recall() const {
+    return truth_areas == 0 ? 1.0
+                            : static_cast<double>(true_report_areas) /
+                                  static_cast<double>(truth_areas);
+  }
+};
+Accuracy evaluate(const core::EventLog& log, const core::RaceLog& races);
+
+/// Offline replay of the *online* algorithm over a recorded log: walks each
+/// area in application order, maintains V/W/last-ranks exactly as the home
+/// NICs do, and applies core::check_access under `mode`.
+///
+/// Uses: (a) compare detector modes on the *same* execution (run once,
+/// replay under DualClock and SingleClock — message timings stay identical,
+/// which a re-run with a different mode would not guarantee); (b) validate
+/// that the replay of the run's own mode reproduces the live reports.
+///
+/// Note the comparison granularity: the two modes name different *priors*
+/// (dual compares a read against the last write, single against the last
+/// access), so their pair sets are incomparable — but the *flagged events*
+/// of the dual mode are provably a subset of the single mode's (W ≤ V).
+struct ReplayResult {
+  std::set<RacePair> pairs;
+  std::set<std::uint64_t> flagged_events;
+};
+ReplayResult replay_online(const core::EventLog& log, core::DetectorMode mode);
+
+}  // namespace dsmr::analysis

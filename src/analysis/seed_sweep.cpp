@@ -1,0 +1,56 @@
+#include "analysis/seed_sweep.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace dsmr::analysis {
+
+std::string SweepSummary::render() const {
+  std::ostringstream out;
+  out << outcomes.size() << " schedules: " << seeds_with_reports << " with reports ("
+      << static_cast<int>(manifestation_rate() * 100.0) << "%), " << seeds_with_truth
+      << " with true races, " << incomplete_runs << " deadlocked, min precision "
+      << min_precision;
+  if (first_racy_seed.has_value()) {
+    out << "; replay with seed " << *first_racy_seed;
+  }
+  return out.str();
+}
+
+SweepSummary seed_sweep(const runtime::WorldConfig& base_config,
+                        std::uint64_t first_seed, std::uint64_t count,
+                        const WorkloadFn& workload) {
+  DSMR_REQUIRE(count > 0, "seed sweep needs at least one seed");
+  SweepSummary summary;
+  for (std::uint64_t seed = first_seed; seed < first_seed + count; ++seed) {
+    runtime::WorldConfig config = base_config;
+    config.seed = seed;
+    runtime::World world(config);
+    workload(world);
+    const auto report = world.run();
+
+    SeedOutcome outcome;
+    outcome.seed = seed;
+    outcome.completed = report.completed;
+    outcome.races_reported = report.race_count;
+    if (!report.completed) ++summary.incomplete_runs;
+    if (report.completed && world.events().enabled()) {
+      const auto truth = compute_ground_truth(world.events());
+      outcome.truth_pairs = truth.pairs.size();
+      const auto accuracy = evaluate(world.events(), world.races());
+      outcome.precision = accuracy.precision();
+      outcome.area_recall = accuracy.area_recall();
+      if (outcome.truth_pairs > 0) ++summary.seeds_with_truth;
+    }
+    if (outcome.races_reported > 0) {
+      ++summary.seeds_with_reports;
+      if (!summary.first_racy_seed.has_value()) summary.first_racy_seed = seed;
+    }
+    summary.min_precision = std::min(summary.min_precision, outcome.precision);
+    summary.outcomes.push_back(outcome);
+  }
+  return summary;
+}
+
+}  // namespace dsmr::analysis

@@ -1,0 +1,58 @@
+// Schedule exploration by seed sweeping.
+//
+// The simulator is a pure function of its seed, so sweeping seeds explores
+// distinct legal interleavings of the same program — the closest a dynamic
+// race detector gets to schedule coverage. The sweep aggregates, per seed:
+// whether the run completed, how many races were reported, and the online
+// detector's accuracy against ground truth; plus the overall hit rate
+// ("in how many schedules did the bug manifest?") and the first seed that
+// exposed it, which can then be replayed deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/ground_truth.hpp"
+#include "runtime/world.hpp"
+
+namespace dsmr::analysis {
+
+struct SeedOutcome {
+  std::uint64_t seed = 0;
+  bool completed = false;
+  std::uint64_t races_reported = 0;
+  std::uint64_t truth_pairs = 0;
+  double precision = 1.0;
+  double area_recall = 1.0;
+};
+
+struct SweepSummary {
+  std::vector<SeedOutcome> outcomes;
+  std::uint64_t seeds_with_reports = 0;  ///< schedules where a race manifested.
+  std::uint64_t seeds_with_truth = 0;    ///< schedules with a true race.
+  std::uint64_t incomplete_runs = 0;     ///< deadlocked schedules.
+  std::optional<std::uint64_t> first_racy_seed;  ///< replay this to debug.
+  double min_precision = 1.0;
+
+  double manifestation_rate() const {
+    return outcomes.empty() ? 0.0
+                            : static_cast<double>(seeds_with_reports) /
+                                  static_cast<double>(outcomes.size());
+  }
+
+  std::string render() const;
+};
+
+/// The workload under test: given a configured World (seed already set),
+/// allocate data and spawn the programs.
+using WorkloadFn = std::function<void(runtime::World&)>;
+
+/// Runs `workload` once per seed in [first_seed, first_seed + count) on top
+/// of `base_config` (its seed field is overwritten per run).
+SweepSummary seed_sweep(const runtime::WorldConfig& base_config, std::uint64_t first_seed,
+                        std::uint64_t count, const WorkloadFn& workload);
+
+}  // namespace dsmr::analysis

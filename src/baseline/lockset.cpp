@@ -1,0 +1,55 @@
+#include "baseline/lockset.hpp"
+
+#include <algorithm>
+
+namespace dsmr::baseline {
+
+LocksetResult LocksetDetector::analyze(const core::EventLog& log) {
+  std::map<analysis::AreaKey, AreaState> states;
+  LocksetResult result;
+
+  for (const auto& event : log.events()) {
+    AreaState& st = states[{event.home, event.area}];
+    const std::set<std::uint64_t> held(event.held_locks.begin(), event.held_locks.end());
+
+    switch (st.state) {
+      case State::kVirgin:
+        st.state = State::kExclusive;
+        st.first_rank = event.rank;
+        break;
+      case State::kExclusive:
+        if (event.rank == st.first_rank) break;  // still thread-local.
+        st.state = event.kind == core::AccessKind::kWrite ? State::kSharedModified
+                                                          : State::kShared;
+        break;
+      case State::kShared:
+        if (event.kind == core::AccessKind::kWrite) st.state = State::kSharedModified;
+        break;
+      case State::kSharedModified:
+        break;
+    }
+
+    // Lockset refinement runs from the very first access (original Eraser):
+    // the Exclusive state only defers *reporting*, not learning — otherwise
+    // the first thread's locks would never constrain the candidate set.
+    if (!st.candidates.has_value()) {
+      st.candidates = held;
+    } else {
+      std::set<std::uint64_t> intersection;
+      std::set_intersection(st.candidates->begin(), st.candidates->end(), held.begin(),
+                            held.end(),
+                            std::inserter(intersection, intersection.begin()));
+      *st.candidates = std::move(intersection);
+    }
+
+    if (st.state == State::kSharedModified && st.candidates.has_value() &&
+        st.candidates->empty() && !st.reported) {
+      st.reported = true;
+      result.warnings.push_back({{event.home, event.area}, event.id, event.rank});
+      result.flagged_areas.insert({event.home, event.area});
+    }
+  }
+  return result;
+}
+
+}  // namespace dsmr::baseline

@@ -1,0 +1,67 @@
+#include "clocks/matrix_clock.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace dsmr::clocks {
+
+MatrixClock::MatrixClock(std::size_t n, Rank self)
+    : rows_(n, VectorClock(n)), self_(self) {
+  DSMR_REQUIRE(self >= 0 && static_cast<std::size_t>(self) < n,
+               "matrix clock owner rank " << self << " out of range for n=" << n);
+}
+
+const VectorClock& MatrixClock::own_row() const { return row(self_); }
+
+const VectorClock& MatrixClock::row(Rank r) const {
+  DSMR_CHECK_MSG(r >= 0 && static_cast<std::size_t>(r) < rows_.size(),
+                 "matrix clock row " << r << " out of range");
+  return rows_[static_cast<std::size_t>(r)];
+}
+
+void MatrixClock::tick() {
+  auto& own = rows_[static_cast<std::size_t>(self_)];
+  own.tick(self_);
+}
+
+void MatrixClock::merge_matrix(const MatrixClock& sender_matrix) {
+  DSMR_CHECK_MSG(sender_matrix.size() == size(), "matrix clock size mismatch");
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    rows_[r].merge_from(sender_matrix.rows_[r]);
+  }
+  rows_[static_cast<std::size_t>(self_)].merge_from(sender_matrix.own_row());
+  rows_[static_cast<std::size_t>(sender_matrix.self_)].merge_from(sender_matrix.own_row());
+}
+
+void MatrixClock::merge_row(Rank sender, const VectorClock& sender_row) {
+  DSMR_CHECK_MSG(sender >= 0 && static_cast<std::size_t>(sender) < rows_.size(),
+                 "merge_row sender rank out of range");
+  rows_[static_cast<std::size_t>(self_)].merge_from(sender_row);
+  rows_[static_cast<std::size_t>(sender)].merge_from(sender_row);
+}
+
+VectorClock MatrixClock::gc_frontier() const {
+  VectorClock frontier(size());
+  for (std::size_t k = 0; k < size(); ++k) {
+    ClockValue lo = std::numeric_limits<ClockValue>::max();
+    for (const auto& row : rows_) lo = std::min(lo, row[k]);
+    frontier[k] = lo;
+  }
+  return frontier;
+}
+
+std::string MatrixClock::to_string() const {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out << "; ";
+    out << rows_[r].to_string();
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace dsmr::clocks

@@ -1,0 +1,62 @@
+// Matrix clocks — the paper's §IV.B literally maintains a *clock matrix*
+// V_{Pi} per process ("Before Pi performs an event, it increments its local
+// logical clock V_{Pi}[i,i]").
+//
+// Row i of process i's matrix is its ordinary vector clock (what Pi knows of
+// everyone's progress); row j is Pi's latest knowledge of Pj's vector clock
+// (what Pi knows Pj knows). The comparisons in Algorithms 1-3 only consume
+// the own-row vector, which is why the runtime stores a VectorClock on the
+// hot path; the matrix is kept for the knowledge/garbage-collection
+// extension: `gc_frontier()[k]` is a lower bound on what *every* process
+// knows about Pk, so any bookkeeping older than the frontier can be pruned.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clocks/vector_clock.hpp"
+#include "util/types.hpp"
+
+namespace dsmr::clocks {
+
+class MatrixClock {
+ public:
+  MatrixClock() = default;
+
+  /// n×n matrix of zeros for a system of n processes, owned by `self`.
+  MatrixClock(std::size_t n, Rank self);
+
+  std::size_t size() const { return rows_.size(); }
+  Rank self() const { return self_; }
+
+  /// The own row — the process's vector clock.
+  const VectorClock& own_row() const;
+  const VectorClock& row(Rank r) const;
+
+  /// Local event: V[i,i] += 1 (paper §IV.B).
+  void tick();
+
+  /// Message receipt from `sender` carrying its full matrix: componentwise
+  /// max of all rows, then the own row additionally absorbs the sender's
+  /// own row (direct knowledge) — the standard matrix-clock update.
+  void merge_matrix(const MatrixClock& sender_matrix);
+
+  /// Cheaper variant for protocols that only ship the sender's vector
+  /// (row): merges into our own row and records it as row[sender].
+  void merge_row(Rank sender, const VectorClock& sender_row);
+
+  /// Component k of the frontier = min over rows of column k: every process
+  /// is known to have seen Pk's events up to this count. Monotone
+  /// non-decreasing; safe pruning horizon for per-event metadata.
+  VectorClock gc_frontier() const;
+
+  std::string to_string() const;
+
+  bool operator==(const MatrixClock& other) const = default;
+
+ private:
+  std::vector<VectorClock> rows_;
+  Rank self_ = kInvalidRank;
+};
+
+}  // namespace dsmr::clocks

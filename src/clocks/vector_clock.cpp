@@ -1,0 +1,121 @@
+#include "clocks/vector_clock.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace dsmr::clocks {
+
+ClockValue VectorClock::operator[](std::size_t i) const {
+  DSMR_CHECK_MSG(i < components_.size(), "clock component " << i << " out of range");
+  return components_[i];
+}
+
+ClockValue& VectorClock::operator[](std::size_t i) {
+  DSMR_CHECK_MSG(i < components_.size(), "clock component " << i << " out of range");
+  return components_[i];
+}
+
+void VectorClock::tick(Rank rank) {
+  DSMR_CHECK_MSG(rank >= 0 && static_cast<std::size_t>(rank) < components_.size(),
+                 "tick by rank " << rank << " on clock of size " << components_.size());
+  components_[static_cast<std::size_t>(rank)] += 1;
+}
+
+void VectorClock::merge_from(const VectorClock& other) {
+  DSMR_CHECK_MSG(other.size() == size(),
+                 "merging clocks of different sizes: " << size() << " vs " << other.size());
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    components_[i] = std::max(components_[i], other.components_[i]);
+  }
+}
+
+bool VectorClock::dominated_by(const VectorClock& other) const {
+  DSMR_CHECK_MSG(other.size() == size(),
+                 "comparing clocks of different sizes: " << size() << " vs " << other.size());
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] > other.components_[i]) return false;
+  }
+  return true;
+}
+
+Ordering VectorClock::compare(const VectorClock& other) const {
+  const bool le = dominated_by(other);
+  const bool ge = other.dominated_by(*this);
+  if (le && ge) return Ordering::kEqual;
+  if (le) return Ordering::kBefore;
+  if (ge) return Ordering::kAfter;
+  return Ordering::kConcurrent;
+}
+
+bool VectorClock::is_zero() const {
+  return std::all_of(components_.begin(), components_.end(),
+                     [](ClockValue v) { return v == 0; });
+}
+
+bool VectorClock::lexicographic_less(const VectorClock& other) const {
+  return components_ < other.components_;
+}
+
+void VectorClock::encode(std::vector<std::byte>& out) const {
+  const std::size_t start = out.size();
+  out.resize(start + wire_size());
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    ClockValue v = components_[i];
+    for (std::size_t b = 0; b < sizeof(ClockValue); ++b) {
+      out[start + i * sizeof(ClockValue) + b] = static_cast<std::byte>(v & 0xff);
+      v >>= 8;
+    }
+  }
+}
+
+VectorClock VectorClock::decode(std::span<const std::byte> in, std::size_t n,
+                                std::size_t* offset) {
+  std::size_t pos = offset ? *offset : 0;
+  DSMR_REQUIRE(in.size() >= pos + n * sizeof(ClockValue),
+               "decode buffer too small for clock of size " << n);
+  VectorClock clock(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ClockValue v = 0;
+    for (std::size_t b = sizeof(ClockValue); b-- > 0;) {
+      v = (v << 8) | static_cast<ClockValue>(in[pos + i * sizeof(ClockValue) + b]);
+    }
+    clock.components_[i] = v;
+  }
+  pos += n * sizeof(ClockValue);
+  if (offset) *offset = pos;
+  return clock;
+}
+
+std::string VectorClock::to_string() const {
+  const bool compact = std::all_of(components_.begin(), components_.end(),
+                                   [](ClockValue v) { return v < 10; });
+  std::ostringstream out;
+  if (compact) {
+    for (const auto v : components_) out << v;
+  } else {
+    out << "[";
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      if (i > 0) out << ",";
+      out << components_[i];
+    }
+    out << "]";
+  }
+  return out.str();
+}
+
+VectorClock VectorClock::truncated(std::size_t k) const {
+  VectorClock result(std::min(k, components_.size()));
+  for (std::size_t i = 0; i < result.size(); ++i) result.components_[i] = components_[i];
+  return result;
+}
+
+VectorClock max_clock(const VectorClock& a, const VectorClock& b) {
+  VectorClock result = a;
+  result.merge_from(b);
+  return result;
+}
+
+}  // namespace dsmr::clocks

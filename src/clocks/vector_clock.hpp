@@ -1,0 +1,88 @@
+// Vector clocks (Mattern [15], Fidge), the partial-order witness the paper's
+// detector is built on.
+//
+// Lemma 1 (paper, citing Mattern Theorem 10): e < e' iff C(e) < C(e'), and
+// e ∥ e' iff C(e) ∥ C(e'). Corollary 1: if no ordering can be determined
+// between the clocks of two conflicting accesses, there is a race.
+//
+// The paper's Algorithm 3 (`compare_clocks`) is implemented here as
+// `dominated_by` / `compare`; the componentwise-max merge of Algorithm 4
+// (`max_clock`) as `merge_from`.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "clocks/ordering.hpp"
+#include "util/types.hpp"
+
+namespace dsmr::clocks {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  /// A clock for a system of `n` processes, all components zero.
+  /// §IV.C: n is also the provable lower bound on the clock size.
+  explicit VectorClock(std::size_t n) : components_(n, 0) {}
+
+  /// Convenience constructor for tests/examples: explicit component list.
+  VectorClock(std::initializer_list<ClockValue> init) : components_(init) {}
+
+  std::size_t size() const { return components_.size(); }
+  bool empty() const { return components_.empty(); }
+
+  ClockValue operator[](std::size_t i) const;
+  ClockValue& operator[](std::size_t i);
+
+  /// The paper's update_local_clock: V[i] += 1 before process i acts.
+  void tick(Rank rank);
+
+  /// Algorithm 4 (max_clock): componentwise maximum, in place.
+  void merge_from(const VectorClock& other);
+
+  /// Componentwise `*this <= other` — the corrected reading of the paper's
+  /// Algorithm 3 (whose literal "<" in every component would mis-order
+  /// clocks that share any equal component; see DESIGN.md §4).
+  bool dominated_by(const VectorClock& other) const;
+
+  /// Full four-way comparison under Mattern's partial order.
+  Ordering compare(const VectorClock& other) const;
+
+  /// The race predicate of Corollary 1: neither dominates the other.
+  bool concurrent_with(const VectorClock& other) const {
+    return compare(other) == Ordering::kConcurrent;
+  }
+
+  bool is_zero() const;
+
+  bool operator==(const VectorClock& other) const = default;
+
+  /// Total order for use as a container key (NOT the causal order).
+  bool lexicographic_less(const VectorClock& other) const;
+
+  /// Wire encoding: n little-endian u64 components. The serialized size is
+  /// what the communication-overhead benches charge per piggybacked clock.
+  std::size_t wire_size() const { return components_.size() * sizeof(ClockValue); }
+  void encode(std::vector<std::byte>& out) const;
+  static VectorClock decode(std::span<const std::byte> in, std::size_t n,
+                            std::size_t* offset);
+
+  /// Rendering like the paper's figures: "110" when every component is a
+  /// single digit, otherwise "[1,10,2]".
+  std::string to_string() const;
+
+  /// Truncated projection onto the first `k` components — deliberately
+  /// *unsound*; exists only for the §IV.C clock-size ablation.
+  VectorClock truncated(std::size_t k) const;
+
+ private:
+  std::vector<ClockValue> components_;
+};
+
+/// Free-function form of Algorithm 4 returning a fresh clock.
+VectorClock max_clock(const VectorClock& a, const VectorClock& b);
+
+}  // namespace dsmr::clocks

@@ -1,0 +1,36 @@
+#include "core/race_report.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace dsmr::core {
+
+std::string RaceReport::describe() const {
+  std::ostringstream out;
+  out << "RACE #" << id << " @t=" << time << "ns: " << to_string(kind) << " by P"
+      << accessor << " on " << area_name << " (P" << home << "/area " << area
+      << ") clock " << accessor_clock.to_string() << " is concurrent with last "
+      << (against == ComparedAgainst::kW ? "write" : "access") << " clock "
+      << stored_clock.to_string();
+  if (prior_event_id != 0) out << " (event #" << prior_event_id << ")";
+  return out.str();
+}
+
+const RaceReport& RaceLog::record(RaceReport report) {
+  report.id = reports_.size() + 1;
+  reports_.push_back(std::move(report));
+  const RaceReport& stored = reports_.back();
+  for (const auto& observer : observers_) observer(stored);
+  return stored;
+}
+
+std::vector<RaceReport> RaceLog::unique_by_area() const {
+  std::set<std::pair<Rank, std::uint32_t>> seen;
+  std::vector<RaceReport> unique;
+  for (const auto& report : reports_) {
+    if (seen.insert({report.home, report.area}).second) unique.push_back(report);
+  }
+  return unique;
+}
+
+}  // namespace dsmr::core

@@ -1,0 +1,31 @@
+#include "core/rules.hpp"
+
+namespace dsmr::core {
+
+Verdict check_access(DetectorMode mode, AccessKind kind, Rank accessor,
+                     const clocks::VectorClock& accessor_clock,
+                     const StoredClocks& stored) {
+  Verdict verdict;
+  if (mode == DetectorMode::kOff) return verdict;
+
+  const clocks::VectorClock* reference = nullptr;
+  Rank prior_rank = kInvalidRank;
+  if (mode == DetectorMode::kSingleClock || kind == AccessKind::kWrite) {
+    reference = &stored.v;
+    prior_rank = stored.last_access_rank;
+    verdict.against = ComparedAgainst::kV;
+  } else {
+    reference = &stored.w;
+    prior_rank = stored.last_write_rank;
+    verdict.against = ComparedAgainst::kW;
+  }
+
+  verdict.ordering = accessor_clock.compare(*reference);
+  verdict.race = verdict.ordering == clocks::Ordering::kConcurrent;
+  // Same-initiator accesses are serialized by program order and the FIFO
+  // channel to the home NIC regardless of what the clocks can prove.
+  if (verdict.race && prior_rank == accessor) verdict.race = false;
+  return verdict;
+}
+
+}  // namespace dsmr::core

@@ -1,0 +1,56 @@
+// The race predicate — the decision kernel of the paper's Algorithms 1 & 2.
+//
+// Pure functions of clocks and ranks only: usable identically from the
+// initiator side (kSeparate / kPiggyback transports) and from inside the
+// home NIC's atomic event (kHomeSide transport), so every transport applies
+// the same algorithm.
+#pragma once
+
+#include "clocks/ordering.hpp"
+#include "clocks/vector_clock.hpp"
+#include "core/types.hpp"
+#include "util/types.hpp"
+
+namespace dsmr::core {
+
+/// Which stored clock a verdict was decided against.
+enum class ComparedAgainst : std::uint8_t { kNone, kV, kW };
+
+struct Verdict {
+  bool race = false;
+  clocks::Ordering ordering = clocks::Ordering::kEqual;
+  ComparedAgainst against = ComparedAgainst::kNone;
+};
+
+/// The stored state of one area as seen by the check: the two clocks plus
+/// the initiator ranks of the events that produced them.
+struct StoredClocks {
+  const clocks::VectorClock& v;
+  const clocks::VectorClock& w;
+  Rank last_access_rank = kInvalidRank;
+  Rank last_write_rank = kInvalidRank;
+};
+
+/// Applies Corollary 1 to one access:
+///
+///  * DualClock (the paper):
+///      - write: compare the accessor clock with V(x), the last *access* —
+///        a write races with any unordered read or write (§III.C);
+///      - read: compare with W(x), the last *write* — concurrent reads are
+///        not races (Fig. 4) and are never even compared against.
+///  * SingleClock (ablation): every access compares with V(x); concurrent
+///    reads get flagged — the false positives §IV.D eliminates.
+///  * Off: never a race.
+///
+/// Two refinements the prose implies but the pseudocode leaves open:
+///  * an area never accessed before (zero stored clock) cannot race — the
+///    zero clock is dominated by every event clock;
+///  * when the stored clock's event was issued by the *same* rank as this
+///    access, program order plus the FIFO channel already order the two
+///    operations even if the clocks cannot prove it (unacknowledged puts),
+///    so the pair is exempted.
+Verdict check_access(DetectorMode mode, AccessKind kind, Rank accessor,
+                     const clocks::VectorClock& accessor_clock,
+                     const StoredClocks& stored);
+
+}  // namespace dsmr::core

@@ -1,0 +1,52 @@
+// Vocabulary types of the race-detection core.
+#pragma once
+
+#include <cstdint>
+
+namespace dsmr::core {
+
+/// The two access kinds the model distinguishes. A race requires at least
+/// one write among unordered conflicting accesses (paper §III.C).
+enum class AccessKind : std::uint8_t { kRead, kWrite };
+
+constexpr const char* to_string(AccessKind k) {
+  return k == AccessKind::kRead ? "read" : "write";
+}
+
+/// Detector variants.
+///  * kOff        — plain DSM, no clocks: the performance baseline.
+///  * kSingleClock— one clock per area compared on every access; the naive
+///                  scheme §IV.D improves upon (flags concurrent reads).
+///  * kDualClock  — the paper's algorithm: general-purpose V + write clock W,
+///                  eliminating read-read false positives at 2× clock memory.
+enum class DetectorMode : std::uint8_t { kOff, kSingleClock, kDualClock };
+
+constexpr const char* to_string(DetectorMode m) {
+  switch (m) {
+    case DetectorMode::kOff: return "off";
+    case DetectorMode::kSingleClock: return "single-clock";
+    case DetectorMode::kDualClock: return "dual-clock";
+  }
+  return "?";
+}
+
+/// How detection metadata travels (same algorithm, different wire layouts;
+/// verdict-equivalent — a property test asserts this):
+///  * kSeparate  — Algorithms 1-2 spelled out: lock, clock fetch, data,
+///                 clock update and unlock are each their own messages.
+///  * kPiggyback — clocks ride on the lock grant / data messages.
+///  * kHomeSide  — the comparison runs at the home NIC inside the data
+///                 message's atomic event; zero extra messages, clock bytes
+///                 only.
+enum class Transport : std::uint8_t { kSeparate, kPiggyback, kHomeSide };
+
+constexpr const char* to_string(Transport t) {
+  switch (t) {
+    case Transport::kSeparate: return "separate";
+    case Transport::kPiggyback: return "piggyback";
+    case Transport::kHomeSide: return "home-side";
+  }
+  return "?";
+}
+
+}  // namespace dsmr::core

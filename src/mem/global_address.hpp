@@ -1,0 +1,27 @@
+// Global address space addressing: (processor_name, local_address).
+//
+// Paper §III.A: "This couple (processor_name, local_address) is the
+// addressing system used in the global address space."
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace dsmr::mem {
+
+struct GlobalAddress {
+  Rank rank = kInvalidRank;    ///< the processor whose public memory holds the data.
+  std::uint32_t offset = 0;    ///< byte offset inside that processor's public segment.
+
+  bool operator==(const GlobalAddress&) const = default;
+
+  GlobalAddress plus(std::uint32_t bytes) const { return {rank, offset + bytes}; }
+
+  std::string to_string() const {
+    return "P" + std::to_string(rank) + "+" + std::to_string(offset);
+  }
+};
+
+}  // namespace dsmr::mem

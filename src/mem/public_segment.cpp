@@ -1,0 +1,96 @@
+#include "mem/public_segment.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace dsmr::mem {
+
+PublicSegment::PublicSegment(Rank home, std::uint32_t size, std::size_t nprocs)
+    : home_(home), nprocs_(nprocs), bytes_(size) {
+  DSMR_REQUIRE(nprocs > 0, "segment needs a positive process count");
+}
+
+AreaId PublicSegment::register_area(std::uint32_t offset, std::uint32_t size,
+                                    std::string name) {
+  DSMR_REQUIRE(size > 0, "area '" << name << "' must have positive size");
+  DSMR_REQUIRE(offset + size <= bytes_.size(),
+               "area '" << name << "' [" << offset << "," << offset + size
+                        << ") exceeds segment of " << bytes_.size() << " bytes");
+  // Overlap check against neighbours in offset order.
+  auto next = by_offset_.lower_bound(offset);
+  if (next != by_offset_.end()) {
+    DSMR_REQUIRE(offset + size <= areas_[next->second].offset,
+                 "area '" << name << "' overlaps area '" << areas_[next->second].name << "'");
+  }
+  if (next != by_offset_.begin()) {
+    auto prev = std::prev(next);
+    DSMR_REQUIRE(areas_[prev->second].end() <= offset,
+                 "area '" << name << "' overlaps area '" << areas_[prev->second].name << "'");
+  }
+
+  const auto id = static_cast<AreaId>(areas_.size());
+  Area area;
+  area.id = id;
+  area.offset = offset;
+  area.size = size;
+  area.name = std::move(name);
+  area.v_clock = clocks::VectorClock(nprocs_);
+  area.w_clock = clocks::VectorClock(nprocs_);
+  areas_.push_back(std::move(area));
+  by_offset_[offset] = id;
+  bump_ = std::max(bump_, offset + size);
+  return id;
+}
+
+AreaId PublicSegment::allocate_area(std::uint32_t size, std::string name) {
+  return register_area(bump_, size, std::move(name));
+}
+
+Area& PublicSegment::area(AreaId id) {
+  DSMR_CHECK_MSG(id < areas_.size(), "area id " << id << " out of range");
+  return areas_[id];
+}
+
+const Area& PublicSegment::area(AreaId id) const {
+  DSMR_CHECK_MSG(id < areas_.size(), "area id " << id << " out of range");
+  return areas_[id];
+}
+
+Area* PublicSegment::find_area(std::uint32_t offset, std::uint32_t len) {
+  auto it = by_offset_.upper_bound(offset);
+  if (it == by_offset_.begin()) return nullptr;
+  Area& candidate = areas_[std::prev(it)->second];
+  if (offset >= candidate.offset && offset + len <= candidate.end()) return &candidate;
+  return nullptr;
+}
+
+std::span<std::byte> PublicSegment::bytes(std::uint32_t offset, std::uint32_t len) {
+  DSMR_REQUIRE(offset + len <= bytes_.size(), "byte range out of segment bounds");
+  return {bytes_.data() + offset, len};
+}
+
+std::span<const std::byte> PublicSegment::bytes(std::uint32_t offset,
+                                                std::uint32_t len) const {
+  DSMR_REQUIRE(offset + len <= bytes_.size(), "byte range out of segment bounds");
+  return {bytes_.data() + offset, len};
+}
+
+void PublicSegment::write_bytes(std::uint32_t offset, std::span<const std::byte> data) {
+  auto dst = bytes(offset, static_cast<std::uint32_t>(data.size()));
+  std::copy(data.begin(), data.end(), dst.begin());
+}
+
+std::vector<std::byte> PublicSegment::read_bytes(std::uint32_t offset,
+                                                 std::uint32_t len) const {
+  auto src = bytes(offset, len);
+  return {src.begin(), src.end()};
+}
+
+std::size_t PublicSegment::total_clock_bytes() const {
+  std::size_t total = 0;
+  for (const auto& area : areas_) total += area.clock_bytes();
+  return total;
+}
+
+}  // namespace dsmr::mem

@@ -1,0 +1,101 @@
+// One processor's public memory: the remotely accessible part of the global
+// address space (paper §III.A, Fig. 1).
+//
+// Shared data must be *registered* as an area before remote access — the
+// analogue of RDMA memory registration. Each registered area carries the
+// detection state the paper attaches to "each shared piece of data"
+// (§IV.B, §V.A): a general-purpose clock V (last access) and a write clock
+// W (last write), plus bookkeeping for the offline analysis.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "clocks/vector_clock.hpp"
+#include "mem/global_address.hpp"
+#include "util/types.hpp"
+
+namespace dsmr::mem {
+
+using AreaId = std::uint32_t;
+
+/// A registered shared area and its detection metadata.
+struct Area {
+  AreaId id = 0;
+  std::uint32_t offset = 0;  ///< start within the public segment.
+  std::uint32_t size = 0;
+  std::string name;          ///< diagnostic label used in race reports.
+
+  // Detection state (paper §IV.B). Sized n (number of processes).
+  clocks::VectorClock v_clock;  ///< last access to the area.
+  clocks::VectorClock w_clock;  ///< last write to the area.
+
+  // Identities of the events whose clocks are stored above; lets race
+  // reports name *both* sides of a race and lets the offline analysis match
+  // online reports against ground-truth pairs.
+  std::uint64_t last_access_event = 0;  ///< 0 = none yet.
+  std::uint64_t last_write_event = 0;
+  // Initiator ranks of those events. Shipped alongside the clocks: accesses
+  // by the *same* initiator are ordered by program order + FIFO channels
+  // even when the clocks cannot prove it (async puts), so the detector
+  // exempts same-rank pairs.
+  Rank last_access_rank = kInvalidRank;
+  Rank last_write_rank = kInvalidRank;
+
+  std::uint32_t end() const { return offset + size; }
+
+  /// Clock metadata footprint in bytes — the storage-overhead experiment
+  /// (CLAIM-V.A1) sums this across areas.
+  std::size_t clock_bytes() const { return v_clock.wire_size() + w_clock.wire_size(); }
+};
+
+class PublicSegment {
+ public:
+  /// A segment of `size` bytes on `home`, in a system of `nprocs` processes
+  /// (clock width).
+  PublicSegment(Rank home, std::uint32_t size, std::size_t nprocs);
+
+  Rank home() const { return home_; }
+  std::uint32_t size() const { return static_cast<std::uint32_t>(bytes_.size()); }
+  std::size_t nprocs() const { return nprocs_; }
+
+  /// Registers [offset, offset+size) as a shared area. Areas must not
+  /// overlap: an area is the unit of locking and of race detection.
+  AreaId register_area(std::uint32_t offset, std::uint32_t size, std::string name);
+
+  /// Registers the next free region (bump allocation); the common path used
+  /// by World::alloc_public.
+  AreaId allocate_area(std::uint32_t size, std::string name);
+
+  Area& area(AreaId id);
+  const Area& area(AreaId id) const;
+  std::size_t area_count() const { return areas_.size(); }
+
+  /// The area containing [offset, offset+len), or nullptr if the range is
+  /// unregistered or straddles an area boundary.
+  Area* find_area(std::uint32_t offset, std::uint32_t len);
+
+  /// Raw byte access (bounds-checked).
+  std::span<std::byte> bytes(std::uint32_t offset, std::uint32_t len);
+  std::span<const std::byte> bytes(std::uint32_t offset, std::uint32_t len) const;
+
+  void write_bytes(std::uint32_t offset, std::span<const std::byte> data);
+  std::vector<std::byte> read_bytes(std::uint32_t offset, std::uint32_t len) const;
+
+  /// Total detection-metadata footprint (CLAIM-V.A1).
+  std::size_t total_clock_bytes() const;
+
+ private:
+  Rank home_;
+  std::size_t nprocs_;
+  std::vector<std::byte> bytes_;
+  std::vector<Area> areas_;
+  std::map<std::uint32_t, AreaId> by_offset_;  ///< area start offset -> id.
+  std::uint32_t bump_ = 0;
+};
+
+}  // namespace dsmr::mem

@@ -1,0 +1,60 @@
+// Abstract interconnect interface + traffic accounting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/message.hpp"
+#include "sim/time.hpp"
+#include "util/types.hpp"
+
+namespace dsmr::net {
+
+/// Per-message-type traffic counters; the raw material for the
+/// communication-overhead experiment (paper §V.A / EXPERIMENTS.md
+/// CLAIM-V.A2).
+struct TrafficCounters {
+  std::map<MsgType, std::uint64_t> messages_by_type;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t data_path_messages = 0;  ///< the messages Fig. 2 counts.
+  std::uint64_t payload_bytes = 0;       ///< user data only.
+  std::uint64_t clock_bytes = 0;         ///< detection metadata on the wire.
+
+  void record(const Message& m) {
+    messages_by_type[m.type] += 1;
+    total_messages += 1;
+    total_bytes += m.wire_size();
+    payload_bytes += m.data.size();
+    clock_bytes += m.charged_clock_bytes();
+    if (is_data_path(m.type)) data_path_messages += 1;
+  }
+
+  void reset() { *this = TrafficCounters{}; }
+};
+
+/// The interconnection network. Implementations must deliver messages
+/// between a given ordered pair of ranks in FIFO order — the paper's model
+/// (like InfiniBand/Myrinet channels) assumes ordered point-to-point links.
+class Fabric {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  virtual ~Fabric() = default;
+
+  /// Registers the receive handler (the NIC) for `rank`.
+  virtual void attach(Rank rank, Handler handler) = 0;
+
+  /// Sends `m` from m.src to m.dst; delivery is asynchronous. Returns the
+  /// virtual time at which the message will be delivered — the sending NIC
+  /// uses it to model transfer occupancy (an area stays locked until a get
+  /// response has fully arrived; paper Fig. 3).
+  virtual sim::Time send(Message m) = 0;
+
+  virtual const TrafficCounters& counters() const = 0;
+  virtual void reset_counters() = 0;
+};
+
+}  // namespace dsmr::net

@@ -1,0 +1,63 @@
+// Simulated interconnect with a latency/bandwidth/jitter cost model.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace dsmr::net {
+
+/// Cost model: delivery latency = base + wire_size/bandwidth + jitter.
+/// Defaults approximate an InfiniBand-class fabric (the hardware the paper
+/// targets): ~1.5 µs base latency, ~3 GB/s, small exponential-ish jitter.
+struct LatencyModel {
+  sim::Time base_ns = 1'500;
+  double ns_per_byte = 0.33;
+  sim::Time jitter_ns = 200;   ///< uniform in [0, jitter_ns).
+  sim::Time loopback_ns = 80;  ///< rank-to-self messages (NIC loopback).
+
+  sim::Time cost(std::size_t wire_bytes, bool loopback, util::Rng& rng) const {
+    const auto jitter =
+        jitter_ns > 0 ? static_cast<sim::Time>(rng.below(jitter_ns)) : sim::Time{0};
+    if (loopback) return loopback_ns + jitter / 4;
+    return base_ns + static_cast<sim::Time>(ns_per_byte * static_cast<double>(wire_bytes)) +
+           jitter;
+  }
+};
+
+class SimFabric final : public Fabric {
+ public:
+  SimFabric(sim::Engine& engine, int nranks, LatencyModel model, std::uint64_t seed);
+
+  void attach(Rank rank, Handler handler) override;
+  sim::Time send(Message m) override;
+
+  const TrafficCounters& counters() const override { return counters_; }
+  void reset_counters() override { counters_.reset(); }
+
+  const LatencyModel& model() const { return model_; }
+
+  /// Observation tap: called for every message with its computed delivery
+  /// time, after counting and scheduling. Used by the trace recorder; keep
+  /// the callback cheap.
+  using Tap = std::function<void(sim::Time send_time, sim::Time deliver_time,
+                                 const Message& message)>;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+ private:
+  sim::Engine& engine_;
+  LatencyModel model_;
+  util::Rng rng_;
+  std::vector<Handler> handlers_;
+  /// Per ordered (src,dst) pair: the latest scheduled delivery time, used to
+  /// enforce FIFO even when jitter would reorder two back-to-back sends.
+  std::map<std::pair<Rank, Rank>, sim::Time> channel_front_;
+  TrafficCounters counters_;
+  Tap tap_;
+};
+
+}  // namespace dsmr::net

@@ -1,0 +1,191 @@
+// The RDMA-capable NIC model (paper §III).
+//
+// The NIC executes one-sided put/get protocols with OS bypass: the *process*
+// on the home rank never participates — its NIC serves accesses, maintains
+// the per-area clocks, provides area locks, and answers on behalf of the
+// process. This is exactly the paper's deployment model for the detection
+// algorithm ("implemented in the communication library", §V.B option 1).
+//
+// Three wire layouts (core::Transport) realize Algorithms 1-2:
+//
+//   kSeparate  (the algorithms spelled out literally)
+//     put: LOCK_REQ/GRANT, CLK_FETCH/RESP, [compare], PUT_DATA/ACK,
+//          CLK_EVENT/ACK, UNLOCK                               — 9 messages
+//     get: LOCK_REQ/GRANT, CLK_FETCH/RESP, [compare], GET_REQ/RESP,
+//          CLK_EVENT/ACK, UNLOCK                               — 9 messages
+//
+//   kPiggyback (clocks ride on lock/data messages)
+//     put: LOCKFETCH_REQ/GRANT, [compare], PUT_COMMIT/ACK      — 4 messages
+//     get: GETLOCKED_REQ/RESP                                  — 2 messages
+//
+//   kHomeSide  (the compare runs inside the home NIC's atomic apply event)
+//     put: PUT_COMMIT/ACK                                      — 2 messages
+//     get: GETLOCKED_REQ/RESP                                  — 2 messages
+//
+// With DetectorMode::kOff, ops always take the minimal kHomeSide layout with
+// no verdicts and clocks excluded from wire accounting — the fig-2 baseline
+// (put: 1 data message + completion ack; get: 2 messages).
+//
+// Fig. 3 semantics (a put delayed until an in-flight get completes) fall out
+// of the FIFO area locks: serving a get holds the area until the response
+// has fully arrived at the requester; puts arriving meanwhile queue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/event_log.hpp"
+#include "core/race_report.hpp"
+#include "core/rules.hpp"
+#include "core/types.hpp"
+#include "mem/global_address.hpp"
+#include "mem/public_segment.hpp"
+#include "net/fabric.hpp"
+#include "nic/lock_manager.hpp"
+#include "nic/node_clock.hpp"
+#include "sim/engine.hpp"
+#include "sim/future.hpp"
+
+namespace dsmr::nic {
+
+struct NicConfig {
+  core::DetectorMode mode = core::DetectorMode::kDualClock;
+  core::Transport transport = core::Transport::kHomeSide;
+  /// User-level lock release→acquire carries the releaser's clock,
+  /// establishing happens-before (protocol-internal locks never do: that
+  /// would order *every* pair of accesses and hide all races).
+  bool lock_clock_handoff = true;
+};
+
+/// Per-op context handed down by the runtime layer (dsmr::runtime::Process):
+/// the access's EventLog id and the initiator clock at issue (post-tick).
+struct OpContext {
+  std::uint64_t event_id = 0;
+  clocks::VectorClock issue_clock;
+};
+
+struct PutResult {
+  clocks::VectorClock home_clock;  ///< home's post-event clock (ack payload).
+  bool raced = false;
+};
+
+struct GetResult {
+  std::vector<std::byte> data;
+  clocks::VectorClock home_clock;
+  bool raced = false;
+};
+
+struct UserLockResult {
+  clocks::VectorClock handoff;  ///< empty when no previous releaser.
+};
+
+class Nic {
+ public:
+  Nic(Rank rank, sim::Engine& engine, net::Fabric& fabric, mem::PublicSegment& segment,
+      NodeClock& clock, NicConfig config, core::RaceLog& races, core::EventLog& events);
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  Rank rank() const { return rank_; }
+  NodeClock& node_clock() { return clock_; }
+  mem::PublicSegment& segment() { return segment_; }
+  LockManager& locks() { return locks_; }
+  const NicConfig& config() const { return config_; }
+
+  /// Address resolution (the PGAS compiler's role, §III.A): maps a global
+  /// address range to the registered area containing it. Installed by the
+  /// World with whole-system layout knowledge.
+  using AreaResolver =
+      std::function<const mem::Area*(Rank, std::uint32_t, std::uint32_t)>;
+  void set_resolver(AreaResolver resolver) { resolver_ = std::move(resolver); }
+
+  // ---- instrumented one-sided operations (Algorithms 1 and 2) ----
+
+  sim::Future<PutResult> put(mem::GlobalAddress dst, std::vector<std::byte> data,
+                             OpContext ctx);
+  sim::Future<GetResult> get(mem::GlobalAddress src, std::uint32_t len, OpContext ctx);
+
+  // ---- user-visible area locks (paper §III.A) ----
+
+  /// Acquires the NIC lock on the area at `addr` for this rank. Resolves
+  /// with the handoff clock of the previous releaser (empty if none or if
+  /// handoff is disabled).
+  sim::Future<UserLockResult> user_lock(mem::GlobalAddress addr);
+
+  /// Releases; `release_clock` is stored as the handoff for the next owner
+  /// (ignored when handoff is disabled).
+  void user_unlock(mem::GlobalAddress addr, const clocks::VectorClock& release_clock);
+
+  // ---- control-plane signals (barriers, broadcast, user sync) ----
+
+  void send_signal(Rank to, std::uint64_t tag, clocks::VectorClock clock,
+                   std::vector<std::byte> payload = {});
+  sim::Future<net::Message> wait_signal(std::uint64_t tag);
+
+  /// Fabric receive entry point (installed via Fabric::attach by the World).
+  void on_message(const net::Message& m);
+
+  /// The area resolver (exposed for the runtime layer's event logging).
+  const mem::Area* resolve(Rank rank, std::uint32_t offset, std::uint32_t len) const;
+
+ private:
+  net::Message make(net::MsgType type, Rank dst, std::uint64_t op_id,
+                    std::uint32_t area) const;
+  sim::Future<net::Message> request(net::Message m);
+  void resolve_pending(const net::Message& m);
+  void reply(const net::Message& request, net::Message response);
+
+  /// True when the area's lock is held by any operation of `rank` (an op
+  /// token or the rank's user lock) — such ops proceed without queuing.
+  bool rank_holds(mem::AreaId area, Rank rank) const;
+
+  // Home-side handlers.
+  void handle_lock_request(const net::Message& m, bool with_clocks);
+  void handle_unlock(const net::Message& m);
+  void handle_clock_fetch(const net::Message& m);
+  void handle_clock_event(const net::Message& m);
+  void handle_put_data(const net::Message& m);
+  void handle_get_request(const net::Message& m);
+  void handle_put_commit(const net::Message& m);
+  void handle_get_locked(const net::Message& m);
+  void handle_signal(const net::Message& m);
+
+  /// Applies a put at home: optional verdict, clock event, data write,
+  /// area clock update, ack.
+  void apply_put(const net::Message& m);
+  /// Serves a get at home: verdict, clock event, area V update, response;
+  /// returns the response's delivery time (lock held until then — Fig. 3).
+  sim::Time serve_get(const net::Message& m);
+
+  void record_home_report(core::AccessKind kind, const net::Message& m,
+                          const mem::Area& area, const core::Verdict& verdict);
+  void record_initiator_report(core::AccessKind kind, Rank home, const mem::Area& area,
+                               const OpContext& ctx, const net::Message& clock_resp,
+                               const core::Verdict& verdict);
+
+  Rank rank_;
+  sim::Engine& engine_;
+  net::Fabric& fabric_;
+  mem::PublicSegment& segment_;
+  NodeClock& clock_;
+  NicConfig config_;
+  core::RaceLog& races_;
+  core::EventLog& events_;
+  AreaResolver resolver_;
+  LockManager locks_;
+
+  std::uint64_t next_op_ = 1;
+  std::unordered_map<std::uint64_t, sim::Promise<net::Message>> pending_;
+  std::unordered_map<std::uint64_t, std::deque<net::Message>> queued_signals_;
+  std::unordered_map<std::uint64_t, std::deque<sim::Promise<net::Message>>> signal_waiters_;
+
+  /// op_id used by this rank's user-lock protocol (outside the data-op
+  /// counter range; the lock token must be stable across lock and unlock).
+  static constexpr std::uint64_t kUserLockOp = 0xffffffffULL;
+};
+
+}  // namespace dsmr::nic

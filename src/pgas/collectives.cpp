@@ -1,0 +1,84 @@
+#include "pgas/collectives.hpp"
+
+namespace dsmr::pgas {
+
+sim::Future<void> Team::barrier() {
+  const int n = self_.nprocs();
+  const Rank r = self_.rank();
+  const std::uint64_t epoch = barrier_epoch_++;
+  for (std::uint32_t round = 0; (1 << round) < n; ++round) {
+    const int dist = 1 << round;
+    const Rank to = static_cast<Rank>((r + dist) % n);
+    self_.signal(to, tag(kBarrier, epoch, round));
+    co_await self_.wait_signal(tag(kBarrier, epoch, round));
+  }
+}
+
+sim::Future<std::vector<std::byte>> Team::broadcast(Rank root,
+                                                    std::vector<std::byte> data) {
+  const int n = self_.nprocs();
+  const Rank r = self_.rank();
+  const std::uint64_t epoch = bcast_epoch_++;
+  const int vr = (r - root + n) % n;  // rank relative to the root.
+
+  // Receive from the parent (the rank that differs in my lowest set bit).
+  int mask = 1;
+  while (mask < n) {
+    if ((vr & mask) != 0) {
+      data = co_await self_.wait_signal(tag(kBroadcast, epoch, 0));
+      break;
+    }
+    mask <<= 1;
+  }
+  // Forward to children in decreasing subtree size.
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < n) {
+      const Rank child = static_cast<Rank>((vr + mask + root) % n);
+      self_.signal(child, tag(kBroadcast, epoch, 0), data);
+    }
+    mask >>= 1;
+  }
+  co_return data;
+}
+
+sim::Future<std::vector<std::vector<std::byte>>> Team::gather(
+    Rank root, std::vector<std::byte> data) {
+  const int n = self_.nprocs();
+  const Rank r = self_.rank();
+  const std::uint64_t epoch = gather_epoch_++;
+  std::vector<std::vector<std::byte>> gathered;
+  if (r == root) {
+    gathered.resize(static_cast<std::size_t>(n));
+    gathered[static_cast<std::size_t>(root)] = std::move(data);
+    for (Rank source = 0; source < n; ++source) {
+      if (source == root) continue;
+      // The round encodes the sender, so slices land in the right slot no
+      // matter the arrival order.
+      gathered[static_cast<std::size_t>(source)] = co_await self_.wait_signal(
+          tag(kGather, epoch, static_cast<std::uint32_t>(source)));
+    }
+  } else {
+    self_.signal(root, tag(kGather, epoch, static_cast<std::uint32_t>(r)), data);
+  }
+  co_return gathered;
+}
+
+sim::Future<std::vector<std::byte>> Team::scatter(
+    Rank root, std::vector<std::vector<std::byte>> slices) {
+  const int n = self_.nprocs();
+  const Rank r = self_.rank();
+  const std::uint64_t epoch = scatter_epoch_++;
+  if (r == root) {
+    DSMR_REQUIRE(slices.size() == static_cast<std::size_t>(n),
+                 "scatter needs one slice per rank");
+    for (Rank target = 0; target < n; ++target) {
+      if (target == root) continue;
+      self_.signal(target, tag(kScatter, epoch, 0), slices[static_cast<std::size_t>(target)]);
+    }
+    co_return std::move(slices[static_cast<std::size_t>(root)]);
+  }
+  co_return co_await self_.wait_signal(tag(kScatter, epoch, 0));
+}
+
+}  // namespace dsmr::pgas

@@ -1,0 +1,155 @@
+// Collective operations built on the control-plane signals.
+//
+// Every signal carries the sender's vector clock, so collectives are also
+// synchronization points in the happens-before sense: accesses separated by
+// a barrier can never race — exactly how a PGAS program is supposed to
+// coordinate its one-sided traffic.
+//
+// `onesided_reduce` is the paper's §V.B future-work operation: a
+// *non-collective* global reduction performed entirely by the caller via
+// remote gets, "without any participation for the other processes".
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "mem/global_address.hpp"
+#include "runtime/process.hpp"
+#include "sim/future.hpp"
+#include "util/assert.hpp"
+
+namespace dsmr::pgas {
+
+/// Per-process handle for collective operations. Construct one per rank
+/// (same configuration everywhere); epochs keep successive collectives'
+/// signal tags disjoint.
+class Team {
+ public:
+  explicit Team(runtime::Process& self) : self_(self) {}
+
+  runtime::Process& process() { return self_; }
+
+  /// Dissemination barrier: ceil(log2 n) rounds, each rank signaling
+  /// (r + 2^k) mod n and waiting on (r - 2^k) mod n. All clocks merge, so
+  /// the barrier is a global happens-before frontier.
+  sim::Future<void> barrier();
+
+  /// Binomial-tree broadcast of raw bytes from `root`.
+  sim::Future<std::vector<std::byte>> broadcast(Rank root, std::vector<std::byte> data);
+
+  template <typename T>
+  sim::Future<T> broadcast_value(Rank root, T value) {
+    std::vector<std::byte> bytes(sizeof(T));
+    std::memcpy(bytes.data(), &value, sizeof(T));
+    auto out = co_await broadcast(root, std::move(bytes));
+    T result;
+    std::memcpy(&result, out.data(), sizeof(T));
+    co_return result;
+  }
+
+  /// Gather: every rank's payload arrives at `root` in rank order. The
+  /// returned vector is empty on non-root ranks.
+  sim::Future<std::vector<std::vector<std::byte>>> gather(Rank root,
+                                                          std::vector<std::byte> data);
+
+  /// Scatter: `root` distributes `slices[r]` to rank r (slices ignored on
+  /// non-root ranks). Returns this rank's slice.
+  sim::Future<std::vector<std::byte>> scatter(Rank root,
+                                              std::vector<std::vector<std::byte>> slices);
+
+  template <typename T>
+  sim::Future<std::vector<T>> gather_value(Rank root, T value) {
+    std::vector<std::byte> bytes(sizeof(T));
+    std::memcpy(bytes.data(), &value, sizeof(T));
+    auto raw = co_await gather(root, std::move(bytes));
+    std::vector<T> values;
+    values.reserve(raw.size());
+    for (const auto& slice : raw) {
+      T v;
+      std::memcpy(&v, slice.data(), sizeof(T));
+      values.push_back(v);
+    }
+    co_return values;
+  }
+
+  template <typename T>
+  sim::Future<T> scatter_value(Rank root, std::vector<T> values) {
+    std::vector<std::vector<std::byte>> slices;
+    slices.reserve(values.size());
+    for (const T& v : values) {
+      std::vector<std::byte> bytes(sizeof(T));
+      std::memcpy(bytes.data(), &v, sizeof(T));
+      slices.push_back(std::move(bytes));
+    }
+    auto slice = co_await scatter(root, std::move(slices));
+    T result;
+    std::memcpy(&result, slice.data(), sizeof(T));
+    co_return result;
+  }
+
+  /// Collective allreduce: binomial reduction to rank 0 followed by a
+  /// broadcast. `op` must be commutative and associative.
+  template <typename T, typename Op>
+  sim::Future<T> allreduce(T value, Op op) {
+    const int n = self_.nprocs();
+    const Rank r = self_.rank();
+    const std::uint64_t epoch = reduce_epoch_++;
+
+    // Binomial-tree reduction to rank 0.
+    T partial = value;
+    for (int mask = 1; mask < n; mask <<= 1) {
+      if ((r & mask) != 0) {
+        std::vector<std::byte> bytes(sizeof(T));
+        std::memcpy(bytes.data(), &partial, sizeof(T));
+        self_.signal(r - mask, tag(kReduce, epoch, 0), bytes);
+        break;
+      }
+      const Rank source = r | mask;
+      if (source < n) {
+        auto bytes = co_await self_.wait_signal(tag(kReduce, epoch, 0));
+        T incoming;
+        std::memcpy(&incoming, bytes.data(), sizeof(T));
+        partial = op(partial, incoming);
+      }
+    }
+    co_return co_await broadcast_value(0, partial);
+  }
+
+ private:
+  enum Kind : std::uint64_t {
+    kBarrier = 1,
+    kBroadcast = 2,
+    kReduce = 3,
+    kGather = 4,
+    kScatter = 5,
+  };
+
+  /// Collective tags live in their own high range so they can never collide
+  /// with user signal tags.
+  static std::uint64_t tag(Kind kind, std::uint64_t epoch, std::uint32_t round) {
+    return (kind << 56) | (epoch << 16) | round;
+  }
+
+  runtime::Process& self_;
+  std::uint64_t barrier_epoch_ = 0;
+  std::uint64_t bcast_epoch_ = 0;
+  std::uint64_t reduce_epoch_ = 0;
+  std::uint64_t gather_epoch_ = 0;
+  std::uint64_t scatter_epoch_ = 0;
+};
+
+/// §V.B: one-sided global reduction. The caller fetches every source with
+/// instrumented gets and folds locally; no other process participates (and
+/// none is notified — that is the point of the model).
+template <typename T, typename Op>
+sim::Future<T> onesided_reduce(runtime::Process& self,
+                               std::vector<mem::GlobalAddress> sources, T init, Op op) {
+  T accumulator = init;
+  for (const auto& source : sources) {
+    const T value = co_await self.get_value<T>(source);
+    accumulator = op(accumulator, value);
+  }
+  co_return accumulator;
+}
+
+}  // namespace dsmr::pgas

@@ -1,0 +1,48 @@
+// Data distributions for the PGAS layer (the compiler's data-placement role).
+#pragma once
+
+#include <cstddef>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace dsmr::pgas {
+
+/// How global element indices map to owning ranks — the two classic PGAS
+/// layouts (UPC-style).
+enum class Distribution {
+  kBlock,   ///< contiguous blocks: rank 0 gets [0, ceil(N/n)), etc.
+  kCyclic,  ///< round-robin: element i lives on rank i % n.
+};
+
+struct Placement {
+  Rank owner;
+  std::size_t local_index;  ///< index within the owner's local elements.
+};
+
+inline Placement place(Distribution dist, std::size_t index, std::size_t count,
+                       int nprocs) {
+  DSMR_REQUIRE(index < count, "index " << index << " out of range " << count);
+  const auto n = static_cast<std::size_t>(nprocs);
+  if (dist == Distribution::kCyclic) {
+    return {static_cast<Rank>(index % n), index / n};
+  }
+  const std::size_t per_rank = (count + n - 1) / n;
+  return {static_cast<Rank>(index / per_rank), index % per_rank};
+}
+
+/// Number of elements a rank owns under the distribution.
+inline std::size_t local_count(Distribution dist, Rank rank, std::size_t count,
+                               int nprocs) {
+  const auto n = static_cast<std::size_t>(nprocs);
+  const auto r = static_cast<std::size_t>(rank);
+  if (dist == Distribution::kCyclic) {
+    return count / n + (r < count % n ? 1 : 0);
+  }
+  const std::size_t per_rank = (count + n - 1) / n;
+  const std::size_t begin = r * per_rank;
+  if (begin >= count) return 0;
+  return std::min(per_rank, count - begin);
+}
+
+}  // namespace dsmr::pgas

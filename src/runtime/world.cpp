@@ -1,0 +1,128 @@
+#include "runtime/world.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "runtime/process.hpp"
+#include "util/assert.hpp"
+
+namespace dsmr::runtime {
+
+World::Node::Node(Rank rank, World& world)
+    : segment(rank, world.config_.segment_bytes, static_cast<std::size_t>(world.config_.nprocs)),
+      clock(static_cast<std::size_t>(world.config_.nprocs), rank,
+            world.config_.track_matrix_clocks),
+      nic(rank, world.engine_, world.fabric_, segment, clock,
+          nic::NicConfig{world.config_.mode, world.config_.transport,
+                         world.config_.lock_clock_handoff},
+          world.races_, world.events_) {}
+
+World::World(WorldConfig config)
+    : config_(config),
+      engine_(),
+      fabric_(engine_, config.nprocs, config.latency, config.seed) {
+  DSMR_REQUIRE(config_.nprocs > 0, "world needs at least one process");
+  nodes_.reserve(static_cast<std::size_t>(config_.nprocs));
+  processes_.reserve(static_cast<std::size_t>(config_.nprocs));
+  for (Rank r = 0; r < config_.nprocs; ++r) {
+    nodes_.push_back(std::make_unique<Node>(r, *this));
+    fabric_.attach(r, [nic = &nodes_.back()->nic](const net::Message& m) {
+      nic->on_message(m);
+    });
+  }
+  // The "compiler" knows the whole layout: every NIC resolves any rank's
+  // addresses through the World.
+  const auto resolver = [this](Rank rank, std::uint32_t offset,
+                               std::uint32_t len) -> const mem::Area* {
+    DSMR_REQUIRE(rank >= 0 && rank < config_.nprocs, "resolve: bad rank " << rank);
+    return nodes_[static_cast<std::size_t>(rank)]->segment.find_area(offset, len);
+  };
+  for (auto& node : nodes_) node->nic.set_resolver(resolver);
+  for (Rank r = 0; r < config_.nprocs; ++r) {
+    processes_.push_back(std::make_unique<Process>(*this, r));
+  }
+  if (config_.print_races) {
+    races_.add_observer([](const core::RaceReport& report) {
+      std::fprintf(stderr, "%s\n", report.describe().c_str());
+    });
+  }
+}
+
+World::~World() = default;
+
+mem::GlobalAddress World::alloc(Rank home, std::uint32_t bytes, std::string name) {
+  DSMR_REQUIRE(home >= 0 && home < config_.nprocs, "alloc: bad rank " << home);
+  auto& segment = nodes_[static_cast<std::size_t>(home)]->segment;
+  const mem::AreaId id = segment.allocate_area(bytes, std::move(name));
+  return {home, segment.area(id).offset};
+}
+
+void World::spawn(Rank rank, std::function<sim::Task(Process&)> body) {
+  DSMR_REQUIRE(rank >= 0 && rank < config_.nprocs, "spawn: bad rank " << rank);
+  DSMR_REQUIRE(!ran_, "spawn after run()");
+  bodies_.push_back(
+      std::make_unique<std::function<sim::Task(Process&)>>(std::move(body)));
+  tasks_.push_back((*bodies_.back())(*processes_[static_cast<std::size_t>(rank)]));
+  task_ranks_.push_back(rank);
+}
+
+RunReport World::run() {
+  DSMR_REQUIRE(!ran_, "World::run may only be called once");
+  ran_ = true;
+  for (auto& task : tasks_) {
+    engine_.schedule_at(0, [&task] { task.start(); });
+  }
+  const std::uint64_t fired = engine_.run(config_.max_events);
+
+  RunReport report;
+  report.end_time = engine_.now();
+  report.engine_events = fired;
+  report.race_count = races_.count();
+  report.completed = true;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (!tasks_[i].done()) {
+      report.completed = false;
+      report.stuck_ranks.push_back(task_ranks_[i]);
+    }
+  }
+  return report;
+}
+
+mem::PublicSegment& World::segment(Rank rank) {
+  DSMR_REQUIRE(rank >= 0 && rank < config_.nprocs, "segment: bad rank " << rank);
+  return nodes_[static_cast<std::size_t>(rank)]->segment;
+}
+
+nic::Nic& World::nic(Rank rank) {
+  DSMR_REQUIRE(rank >= 0 && rank < config_.nprocs, "nic: bad rank " << rank);
+  return nodes_[static_cast<std::size_t>(rank)]->nic;
+}
+
+nic::NodeClock& World::node_clock(Rank rank) {
+  DSMR_REQUIRE(rank >= 0 && rank < config_.nprocs, "node_clock: bad rank " << rank);
+  return nodes_[static_cast<std::size_t>(rank)]->clock;
+}
+
+Process& World::process(Rank rank) {
+  DSMR_REQUIRE(rank >= 0 && rank < config_.nprocs, "process: bad rank " << rank);
+  return *processes_[static_cast<std::size_t>(rank)];
+}
+
+std::size_t World::total_clock_bytes() const {
+  std::size_t total = 0;
+  for (const auto& node : nodes_) total += node->segment.total_clock_bytes();
+  return total;
+}
+
+clocks::VectorClock World::knowledge_frontier() const {
+  clocks::VectorClock frontier = nodes_.front()->clock.vector();
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    const auto& clock = nodes_[i]->clock.vector();
+    for (std::size_t k = 0; k < frontier.size(); ++k) {
+      frontier[k] = std::min(frontier[k], clock[k]);
+    }
+  }
+  return frontier;
+}
+
+}  // namespace dsmr::runtime

@@ -1,0 +1,132 @@
+// The simulated machine: n processes, their public memories and NICs, one
+// interconnect, one virtual clock — plus the global race and event logs.
+//
+// A World is single-use: configure, allocate shared areas, spawn one program
+// per rank, run to completion, then inspect races/events/traffic.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/event_log.hpp"
+#include "core/race_report.hpp"
+#include "core/types.hpp"
+#include "mem/global_address.hpp"
+#include "mem/public_segment.hpp"
+#include "net/sim_fabric.hpp"
+#include "nic/nic.hpp"
+#include "nic/node_clock.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace dsmr::runtime {
+
+class Process;
+
+struct WorldConfig {
+  int nprocs = 2;
+  std::uint64_t seed = 1;
+  core::DetectorMode mode = core::DetectorMode::kDualClock;
+  core::Transport transport = core::Transport::kHomeSide;
+  net::LatencyModel latency{};
+  bool lock_clock_handoff = true;
+  bool track_matrix_clocks = false;
+  /// When true (default), a put's completion ack merges the home's clock
+  /// into the initiator — puts behave as acknowledged/blocking writes, and
+  /// produce-then-notify patterns are causally ordered. When false, puts are
+  /// the paper's pure one-sided unacknowledged writes: completion conveys no
+  /// knowledge, which is the regime in which Fig. 5c's m1 × m4 race exists.
+  bool acked_puts = true;
+  std::uint32_t segment_bytes = 1 << 20;   ///< public memory per rank.
+  bool print_races = false;                ///< echo race reports to stderr
+                                           ///< (the paper's §IV.D signaling).
+  std::uint64_t max_events = 100'000'000;  ///< runaway-simulation guard.
+};
+
+struct RunReport {
+  bool completed = false;          ///< every spawned program ran to its end.
+  std::vector<Rank> stuck_ranks;   ///< programs still blocked at drain (deadlock).
+  sim::Time end_time = 0;
+  std::uint64_t engine_events = 0;
+  std::uint64_t race_count = 0;
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  const WorldConfig& config() const { return config_; }
+  int nprocs() const { return config_.nprocs; }
+
+  /// Registers `bytes` of shared data in `home`'s public memory (the
+  /// compiler's data-placement role, §III.A). The returned global address
+  /// is the area's start; the area is the unit of locking and detection.
+  mem::GlobalAddress alloc(Rank home, std::uint32_t bytes, std::string name);
+
+  /// Installs the program for `rank`.
+  ///
+  /// The body may be a capturing (coroutine) lambda: the World stores the
+  /// closure at a stable address for its whole lifetime, so captures remain
+  /// valid inside the coroutine frame. (A coroutine lambda's captures live
+  /// in the closure object, not the frame — destroying the closure while
+  /// the coroutine is suspended is the classic C++20 lifetime bug.)
+  void spawn(Rank rank, std::function<sim::Task(Process&)> body);
+
+  /// Runs the simulation to completion (or deadlock / event cap).
+  RunReport run();
+
+  // ---- inspection ----
+  sim::Engine& engine() { return engine_; }
+  core::RaceLog& races() { return races_; }
+  core::EventLog& events() { return events_; }
+  net::SimFabric& fabric() { return fabric_; }  ///< e.g. for trace recording.
+  const net::TrafficCounters& traffic() const { return fabric_.counters(); }
+  void reset_traffic() { fabric_.reset_counters(); }
+  mem::PublicSegment& segment(Rank rank);
+  nic::Nic& nic(Rank rank);
+  nic::NodeClock& node_clock(Rank rank);
+  Process& process(Rank rank);
+
+  /// Detection-metadata bytes across all ranks (CLAIM-V.A1).
+  std::size_t total_clock_bytes() const;
+
+  /// The global knowledge frontier: componentwise minimum over all process
+  /// clocks. Every event whose issue clock is dominated by the frontier is
+  /// causally before *every* future event in the system — the sound pruning
+  /// horizon for race-candidate bookkeeping. Monotonically non-decreasing.
+  ///
+  /// With `track_matrix_clocks` enabled, each node can compute its own
+  /// conservative estimate distributively (MatrixClock::gc_frontier), which
+  /// is always dominated by this global value — asserted by tests.
+  clocks::VectorClock knowledge_frontier() const;
+
+ private:
+  struct Node {
+    Node(Rank rank, World& world);
+    mem::PublicSegment segment;
+    nic::NodeClock clock;
+    nic::Nic nic;
+  };
+
+  WorldConfig config_;
+  sim::Engine engine_;
+  net::SimFabric fabric_;
+  core::RaceLog races_;
+  core::EventLog events_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  /// Spawned program closures, heap-pinned so coroutine frames may keep
+  /// referring to their captures. Destroyed after tasks_ (declared before).
+  std::vector<std::unique_ptr<std::function<sim::Task(Process&)>>> bodies_;
+  std::vector<sim::Task> tasks_;
+  std::vector<Rank> task_ranks_;
+  bool ran_ = false;
+};
+
+}  // namespace dsmr::runtime

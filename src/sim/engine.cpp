@@ -1,0 +1,46 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace dsmr::sim {
+
+namespace {
+thread_local Engine* g_current_engine = nullptr;
+
+/// RAII guard so nested Engine::run calls (used by some unit tests) restore
+/// the previous current engine.
+struct CurrentEngineScope {
+  explicit CurrentEngineScope(Engine* engine) : previous(g_current_engine) {
+    g_current_engine = engine;
+  }
+  ~CurrentEngineScope() { g_current_engine = previous; }
+  Engine* previous;
+};
+}  // namespace
+
+void Engine::schedule_at(Time t, std::function<void()> fn) {
+  DSMR_CHECK_MSG(t >= now_, "scheduling into the past: t=" << t << " now=" << now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+std::uint64_t Engine::run(std::uint64_t max_events) {
+  CurrentEngineScope scope(this);
+  std::uint64_t fired = 0;
+  while (!queue_.empty() && fired < max_events) {
+    // priority_queue::top returns const&; the event must be moved out before
+    // pop so the callback survives, hence the const_cast idiom.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.t;
+    ++fired;
+    ++events_processed_;
+    event.fn();
+  }
+  return fired;
+}
+
+Engine* Engine::current() { return g_current_engine; }
+
+}  // namespace dsmr::sim

@@ -1,0 +1,70 @@
+// Deterministic discrete-event engine.
+//
+// Events are (time, sequence) ordered: two events at the same virtual time
+// fire in scheduling order, which — together with the seeded RNG — makes a
+// whole simulation a pure function of its inputs. Determinism is what lets
+// the test suite assert exact race reports and lets users replay a failing
+// interleaving from its seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dsmr::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (>= now).
+  void schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` ns after the current virtual time.
+  void schedule_after(Time delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at the current virtual time, after already-queued
+  /// same-time events. Used to bounce coroutine resumptions through the
+  /// queue so completion callbacks never nest unboundedly.
+  void schedule_now(std::function<void()> fn) { schedule_at(now_, std::move(fn)); }
+
+  /// Runs until the queue drains or `max_events` fire.
+  /// Returns the number of events processed.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  bool idle() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// The engine currently inside run() on this thread (nullptr outside).
+  /// The simulator is single-threaded; this powers coroutine resumption
+  /// without threading an engine pointer through every awaitable.
+  static Engine* current();
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace dsmr::sim

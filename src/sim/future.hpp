@@ -1,0 +1,215 @@
+// Future/Promise for the discrete-event simulator, usable both as awaitables
+// inside C++20 coroutines and as callback registration points for
+// callback-style code (the NIC message handlers).
+//
+// Design rules:
+//  * Single-threaded: no atomics, no locks.
+//  * Completion resumes waiters through Engine::schedule_now, never inline,
+//    so completion chains cannot recurse unboundedly.
+//  * `Future<T>` is itself a legal coroutine return type: protocol steps in
+//    dsmr::nic / dsmr::core are written as eager coroutines returning
+//    Future<T>.
+#pragma once
+
+#include <coroutine>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+
+namespace dsmr::sim {
+
+namespace detail {
+
+/// Resumes `h` through the current engine when available; inline otherwise
+/// (e.g. when a Promise is resolved after the simulation drained).
+inline void bounce_resume(std::coroutine_handle<> h) {
+  if (Engine* engine = Engine::current()) {
+    engine->schedule_now([h] { h.resume(); });
+  } else {
+    h.resume();
+  }
+}
+
+template <typename T>
+struct SharedState {
+  std::optional<T> value;
+  std::vector<std::coroutine_handle<>> waiters;
+  std::vector<std::function<void(const T&)>> callbacks;
+
+  bool ready() const { return value.has_value(); }
+
+  void set(T v) {
+    DSMR_CHECK_MSG(!value.has_value(), "future resolved twice");
+    value.emplace(std::move(v));
+    auto waiting = std::exchange(waiters, {});
+    for (auto h : waiting) bounce_resume(h);
+    auto cbs = std::exchange(callbacks, {});
+    for (auto& cb : cbs) cb(*value);
+  }
+};
+
+template <>
+struct SharedState<void> {
+  bool done = false;
+  std::vector<std::coroutine_handle<>> waiters;
+  std::vector<std::function<void()>> callbacks;
+
+  bool ready() const { return done; }
+
+  void set() {
+    DSMR_CHECK_MSG(!done, "future resolved twice");
+    done = true;
+    auto waiting = std::exchange(waiters, {});
+    for (auto h : waiting) bounce_resume(h);
+    auto cbs = std::exchange(callbacks, {});
+    for (auto& cb : cbs) cb();
+  }
+};
+
+}  // namespace detail
+
+template <typename T>
+class Future;
+
+/// Manual completion source (for callback-style producers).
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<detail::SharedState<T>>()) {}
+
+  Future<T> future() const;
+
+  void set_value(T v) { state_->set(std::move(v)); }
+  bool resolved() const { return state_->ready(); }
+
+ private:
+  template <typename U>
+  friend class Future;
+  std::shared_ptr<detail::SharedState<T>> state_;
+};
+
+template <>
+class Promise<void> {
+ public:
+  Promise() : state_(std::make_shared<detail::SharedState<void>>()) {}
+
+  Future<void> future() const;
+
+  void set_value() { state_->set(); }
+  bool resolved() const { return state_->ready(); }
+
+ private:
+  template <typename U>
+  friend class Future;
+  std::shared_ptr<detail::SharedState<void>> state_;
+};
+
+template <typename T>
+class Future {
+ public:
+  /// Coroutine machinery: `Future<T> f() { co_return x; }` starts eagerly
+  /// and resolves when the coroutine returns.
+  struct promise_type {
+    std::shared_ptr<detail::SharedState<T>> state =
+        std::make_shared<detail::SharedState<T>>();
+
+    Future get_return_object() { return Future(state); }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_value(T v) { state->set(std::move(v)); }
+    [[noreturn]] void unhandled_exception() {
+      util::panic(__FILE__, __LINE__, "unhandled exception in simulation coroutine");
+    }
+  };
+
+  explicit Future(std::shared_ptr<detail::SharedState<T>> state)
+      : state_(std::move(state)) {}
+
+  bool ready() const { return state_->ready(); }
+
+  /// Registers a callback to run on completion (immediately if ready).
+  void on_ready(std::function<void(const T&)> cb) {
+    if (state_->ready()) {
+      cb(*state_->value);
+    } else {
+      state_->callbacks.push_back(std::move(cb));
+    }
+  }
+
+  /// Value access once ready (also available via co_await).
+  const T& value() const {
+    DSMR_CHECK_MSG(state_->ready(), "Future::value before completion");
+    return *state_->value;
+  }
+
+  // Awaitable interface.
+  bool await_ready() const { return state_->ready(); }
+  void await_suspend(std::coroutine_handle<> h) { state_->waiters.push_back(h); }
+  T await_resume() { return *state_->value; }
+
+ private:
+  std::shared_ptr<detail::SharedState<T>> state_;
+};
+
+template <>
+class Future<void> {
+ public:
+  struct promise_type {
+    std::shared_ptr<detail::SharedState<void>> state =
+        std::make_shared<detail::SharedState<void>>();
+
+    Future get_return_object() { return Future(state); }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() { state->set(); }
+    [[noreturn]] void unhandled_exception() {
+      util::panic(__FILE__, __LINE__, "unhandled exception in simulation coroutine");
+    }
+  };
+
+  explicit Future(std::shared_ptr<detail::SharedState<void>> state)
+      : state_(std::move(state)) {}
+
+  bool ready() const { return state_->ready(); }
+
+  void on_ready(std::function<void()> cb) {
+    if (state_->ready()) {
+      cb();
+    } else {
+      state_->callbacks.push_back(std::move(cb));
+    }
+  }
+
+  bool await_ready() const { return state_->ready(); }
+  void await_suspend(std::coroutine_handle<> h) { state_->waiters.push_back(h); }
+  void await_resume() {}
+
+ private:
+  std::shared_ptr<detail::SharedState<void>> state_;
+};
+
+template <typename T>
+Future<T> Promise<T>::future() const {
+  return Future<T>(state_);
+}
+
+inline Future<void> Promise<void>::future() const { return Future<void>(state_); }
+
+/// Awaitable virtual-time delay: `co_await Delay{engine, 100}`.
+struct Delay {
+  Engine& engine;
+  Time duration;
+
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    engine.schedule_after(duration, [h] { h.resume(); });
+  }
+  void await_resume() {}
+};
+
+}  // namespace dsmr::sim

@@ -1,0 +1,16 @@
+// Virtual time for the discrete-event simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace dsmr::sim {
+
+/// Virtual nanoseconds since simulation start. 64 bits ≈ 584 years of
+/// simulated time — overflow is not a practical concern.
+using Time = std::uint64_t;
+
+constexpr Time kMicrosecond = 1'000;
+constexpr Time kMillisecond = 1'000'000;
+constexpr Time kSecond = 1'000'000'000;
+
+}  // namespace dsmr::sim

@@ -1,0 +1,51 @@
+// Always-on invariant checking for the dsmr libraries.
+//
+// The simulator is a correctness tool: a silently-corrupted simulation is
+// worse than an aborted one, so contract checks stay enabled in release
+// builds. `DSMR_CHECK` guards internal invariants, `DSMR_REQUIRE` guards
+// public-API preconditions (and produces a message aimed at the caller).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dsmr::util {
+
+/// Terminate the process after printing a formatted diagnostic.
+/// Used by the check macros below; call directly for unreachable states.
+[[noreturn]] inline void panic(const char* file, int line, const std::string& what) {
+  std::fprintf(stderr, "dsmr panic at %s:%d: %s\n", file, line, what.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dsmr::util
+
+#define DSMR_CHECK(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::dsmr::util::panic(__FILE__, __LINE__, "invariant failed: " #cond);    \
+    }                                                                         \
+  } while (0)
+
+#define DSMR_CHECK_MSG(cond, msg)                                             \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream dsmr_oss_;                                           \
+      dsmr_oss_ << "invariant failed: " #cond << " — " << msg;                \
+      ::dsmr::util::panic(__FILE__, __LINE__, dsmr_oss_.str());               \
+    }                                                                         \
+  } while (0)
+
+#define DSMR_REQUIRE(cond, msg)                                               \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream dsmr_oss_;                                           \
+      dsmr_oss_ << "precondition failed: " << msg;                            \
+      ::dsmr::util::panic(__FILE__, __LINE__, dsmr_oss_.str());               \
+    }                                                                         \
+  } while (0)
+
+#define DSMR_UNREACHABLE(msg) ::dsmr::util::panic(__FILE__, __LINE__, std::string("unreachable: ") + (msg))

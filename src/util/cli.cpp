@@ -1,0 +1,64 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace dsmr::util {
+
+Cli::Cli(int argc, char** argv, const std::string& usage) {
+  program_ = argc > 0 ? argv[0] : "dsmr";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s %s\n", program_.c_str(), usage.c_str());
+      std::exit(0);
+    }
+    DSMR_REQUIRE(arg.rfind("--", 0) == 0, "flags must start with --, got: " << arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t default_value) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double default_value) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& default_value) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+bool Cli::get_flag(const std::string& name) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  return it != values_.end() && it->second != "false" && it->second != "0";
+}
+
+void Cli::finish() const {
+  for (const auto& [name, value] : values_) {
+    DSMR_REQUIRE(consumed_.count(name) > 0, "unknown flag --" << name << " (try --help)");
+    (void)value;
+  }
+}
+
+}  // namespace dsmr::util

@@ -1,0 +1,37 @@
+// Tiny command-line flag parser used by the example binaries.
+//
+// Supports `--name value`, `--name=value` and boolean `--name` forms.
+// Unknown flags are an error: examples are teaching material and should
+// fail loudly on typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dsmr::util {
+
+class Cli {
+ public:
+  /// Parses argv. On `--help` prints usage (built from the described flags
+  /// queried so far is impossible, so callers pass a usage string) and exits.
+  Cli(int argc, char** argv, const std::string& usage);
+
+  std::int64_t get_int(const std::string& name, std::int64_t default_value);
+  double get_double(const std::string& name, double default_value);
+  std::string get_string(const std::string& name, const std::string& default_value);
+  bool get_flag(const std::string& name);
+
+  /// Call after all get_* lookups: panics on flags that were passed but
+  /// never consumed (i.e. typos).
+  void finish() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+  std::string program_;
+};
+
+}  // namespace dsmr::util

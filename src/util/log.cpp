@@ -1,0 +1,41 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace dsmr::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+Log::Sink g_sink;  // empty => stderr
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+
+void Log::set_level(LogLevel level) { g_level = level; }
+
+Log::Sink Log::set_sink(Sink sink) {
+  return std::exchange(g_sink, std::move(sink));
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (level < g_level) return;
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[dsmr %s] %s\n", level_name(level), message.c_str());
+}
+
+const char* Log::level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace dsmr::util

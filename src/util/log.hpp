@@ -1,0 +1,61 @@
+// Minimal leveled logger.
+//
+// Race reports (the user-facing output of the detector, paper §IV.D) go
+// through a dedicated observer interface in dsmr::core, not through this
+// logger; this is for diagnostics of the simulator itself.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace dsmr::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-global log configuration. Single-threaded by design (the
+/// simulator is single-threaded); the sink may be replaced in tests.
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Replaces the output sink (default: stderr). Returns previous sink.
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+  static Sink set_sink(Sink sink);
+
+  static void write(LogLevel level, const std::string& message);
+
+  static const char* level_name(LogLevel level);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace dsmr::util
+
+#define DSMR_LOG(level_enum)                                                   \
+  if (::dsmr::util::Log::level() <= ::dsmr::util::LogLevel::level_enum)        \
+  ::dsmr::util::detail::LogLine(::dsmr::util::LogLevel::level_enum)
+
+#define DSMR_LOG_DEBUG DSMR_LOG(kDebug)
+#define DSMR_LOG_INFO DSMR_LOG(kInfo)
+#define DSMR_LOG_WARN DSMR_LOG(kWarn)
+#define DSMR_LOG_ERROR DSMR_LOG(kError)

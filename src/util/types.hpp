@@ -1,0 +1,16 @@
+// Shared fundamental vocabulary types.
+#pragma once
+
+#include <cstdint>
+
+namespace dsmr {
+
+/// Process identifier: 0..n-1, matching the paper's P0..Pn-1.
+using Rank = std::int32_t;
+
+/// Logical clock component type.
+using ClockValue = std::uint64_t;
+
+constexpr Rank kInvalidRank = -1;
+
+}  // namespace dsmr

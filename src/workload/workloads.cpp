@@ -1,0 +1,320 @@
+#include "workload/workloads.hpp"
+
+#include <cstring>
+
+#include "pgas/collectives.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace dsmr::workload {
+
+using runtime::Process;
+using runtime::World;
+
+// ---------------------------------------------------------------------------
+// random
+// ---------------------------------------------------------------------------
+
+namespace {
+
+sim::Task random_program(Process& p, RandomConfig cfg,
+                         std::vector<mem::GlobalAddress> areas, std::uint64_t seed) {
+  util::Rng rng(seed);
+  pgas::Team team(p);
+  std::vector<std::byte> value(cfg.value_bytes, std::byte{0});
+  for (int op = 0; op < cfg.ops_per_proc; ++op) {
+    const auto& target = areas[rng.below(areas.size())];
+    const bool write = rng.chance(cfg.write_fraction);
+    const bool locked = cfg.lock_fraction > 0.0 && rng.chance(cfg.lock_fraction);
+    if (locked) co_await p.lock(target);
+    if (write) {
+      const std::uint64_t stamp = rng.next();
+      std::memcpy(value.data(), &stamp, std::min(sizeof(stamp), value.size()));
+      co_await p.put(target, value);
+    } else {
+      co_await p.get(target, cfg.value_bytes);
+    }
+    if (locked) co_await p.unlock(target);
+    if (cfg.barrier_every > 0 && (op + 1) % cfg.barrier_every == 0) {
+      co_await team.barrier();
+    }
+  }
+}
+
+}  // namespace
+
+RandomHandles spawn_random(World& world, const RandomConfig& config) {
+  DSMR_REQUIRE(config.areas > 0, "random workload needs areas");
+  RandomHandles handles;
+  for (int a = 0; a < config.areas; ++a) {
+    const Rank home = static_cast<Rank>(a % world.nprocs());
+    handles.areas.push_back(
+        world.alloc(home, config.value_bytes, "rand" + std::to_string(a)));
+  }
+  util::Rng seeder(config.seed);
+  for (Rank r = 0; r < world.nprocs(); ++r) {
+    const std::uint64_t seed = seeder.next();
+    world.spawn(r, [config, areas = handles.areas, seed](Process& p) {
+      return random_program(p, config, areas, seed);
+    });
+  }
+  return handles;
+}
+
+// ---------------------------------------------------------------------------
+// master_worker
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kDoneTag = 0x4d57ULL << 32;  // "MW"
+
+sim::Task worker_program(Process& p, MasterWorkerConfig cfg, mem::GlobalAddress result,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (int t = 0; t < cfg.tasks_per_worker; ++t) {
+    co_await p.compute(1000 + rng.below(5000));  // the "work".
+    // All workers put to the same slot: the intentional, benign race the
+    // paper's §IV.D discusses — it must be signaled but never fatal.
+    co_await p.put_value(result, static_cast<std::uint64_t>(p.rank()) * 1000 + t);
+  }
+  p.signal(0, kDoneTag);
+}
+
+sim::Task master_program(Process& p, mem::GlobalAddress result) {
+  for (int w = 1; w < p.nprocs(); ++w) {
+    co_await p.wait_signal(kDoneTag);
+  }
+  // Every worker's completion signal happened-before this read: no race.
+  co_await p.get_value<std::uint64_t>(result);
+}
+
+}  // namespace
+
+MasterWorkerHandles spawn_master_worker(World& world, const MasterWorkerConfig& config) {
+  DSMR_REQUIRE(world.nprocs() >= 2, "master_worker needs a master and ≥1 worker");
+  MasterWorkerHandles handles;
+  handles.result = world.alloc(0, sizeof(std::uint64_t), "mw.result");
+  world.spawn(0, [result = handles.result](Process& p) {
+    return master_program(p, result);
+  });
+  util::Rng seeder(config.seed);
+  for (Rank r = 1; r < world.nprocs(); ++r) {
+    const std::uint64_t seed = seeder.next();
+    world.spawn(r, [config, result = handles.result, seed](Process& p) {
+      return worker_program(p, config, result, seed);
+    });
+  }
+  return handles;
+}
+
+// ---------------------------------------------------------------------------
+// stencil
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct StencilAreas {
+  std::vector<mem::GlobalAddress> halo_left;   ///< per rank: receives from r-1.
+  std::vector<mem::GlobalAddress> halo_right;  ///< per rank: receives from r+1.
+  std::vector<mem::GlobalAddress> results;
+};
+
+sim::Task stencil_program(Process& p, StencilConfig cfg, StencilAreas areas) {
+  const Rank r = p.rank();
+  const int n = p.nprocs();
+  pgas::Team team(p);
+
+  std::vector<double> cells(static_cast<std::size_t>(cfg.cells_per_rank));
+  for (int i = 0; i < cfg.cells_per_rank; ++i) {
+    cells[static_cast<std::size_t>(i)] = static_cast<double>(r * cfg.cells_per_rank + i);
+  }
+
+  for (int iter = 0; iter < cfg.iters; ++iter) {
+    // Publish boundary cells into the neighbours' halos.
+    if (r > 0) co_await p.put_value(areas.halo_right[static_cast<std::size_t>(r - 1)], cells.front());
+    if (r < n - 1) co_await p.put_value(areas.halo_left[static_cast<std::size_t>(r + 1)], cells.back());
+    if (!cfg.buggy) co_await team.barrier();
+
+    // Read own halos (instrumented *local* accesses to public memory: the
+    // model makes no distinction, §III.A) and relax.
+    const double left = r > 0
+        ? co_await p.get_value<double>(areas.halo_left[static_cast<std::size_t>(r)])
+        : 0.0;
+    const double right = r < n - 1
+        ? co_await p.get_value<double>(areas.halo_right[static_cast<std::size_t>(r)])
+        : 0.0;
+
+    std::vector<double> next(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const double lv = i == 0 ? left : cells[i - 1];
+      const double rv = i + 1 == cells.size() ? right : cells[i + 1];
+      next[i] = (lv + cells[i] + rv) / 3.0;
+    }
+    cells = std::move(next);
+    if (!cfg.buggy) co_await team.barrier();
+  }
+
+  // Publish final cells (local puts; sequential, race-free).
+  std::vector<std::byte> bytes(cells.size() * sizeof(double));
+  std::memcpy(bytes.data(), cells.data(), bytes.size());
+  co_await p.put(areas.results[static_cast<std::size_t>(r)], bytes);
+}
+
+}  // namespace
+
+StencilHandles spawn_stencil(World& world, const StencilConfig& config) {
+  DSMR_REQUIRE(config.cells_per_rank >= 2, "stencil needs ≥2 cells per rank");
+  StencilAreas areas;
+  for (Rank r = 0; r < world.nprocs(); ++r) {
+    areas.halo_left.push_back(world.alloc(r, sizeof(double), "halo_l" + std::to_string(r)));
+    areas.halo_right.push_back(world.alloc(r, sizeof(double), "halo_r" + std::to_string(r)));
+    areas.results.push_back(world.alloc(
+        r, static_cast<std::uint32_t>(config.cells_per_rank * sizeof(double)),
+        "cells" + std::to_string(r)));
+  }
+  for (Rank r = 0; r < world.nprocs(); ++r) {
+    world.spawn(r, [config, areas](Process& p) { return stencil_program(p, config, areas); });
+  }
+  StencilHandles handles;
+  handles.results = areas.results;
+  handles.cells_per_rank = config.cells_per_rank;
+  handles.iters = config.iters;
+  return handles;
+}
+
+std::vector<double> stencil_reference(int nprocs, const StencilConfig& config) {
+  const std::size_t total = static_cast<std::size_t>(nprocs) *
+                            static_cast<std::size_t>(config.cells_per_rank);
+  std::vector<double> cells(total);
+  for (std::size_t i = 0; i < total; ++i) cells[i] = static_cast<double>(i);
+  for (int iter = 0; iter < config.iters; ++iter) {
+    std::vector<double> next(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      const double lv = i == 0 ? 0.0 : cells[i - 1];
+      const double rv = i + 1 == total ? 0.0 : cells[i + 1];
+      next[i] = (lv + cells[i] + rv) / 3.0;
+    }
+    cells = std::move(next);
+  }
+  return cells;
+}
+
+// ---------------------------------------------------------------------------
+// histogram
+// ---------------------------------------------------------------------------
+
+namespace {
+
+sim::Task histogram_program(Process& p, HistogramConfig cfg,
+                            pgas::SharedArray<std::uint64_t> bins, std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (int i = 0; i < cfg.increments_per_rank; ++i) {
+    const std::size_t bin = rng.below(static_cast<std::uint64_t>(cfg.bins));
+    if (cfg.locked) co_await p.lock(bins.chunk_address(bin));
+    const std::uint64_t value = co_await bins.read(p, bin);
+    co_await bins.write(p, bin, value + 1);
+    if (cfg.locked) co_await p.unlock(bins.chunk_address(bin));
+  }
+}
+
+}  // namespace
+
+HistogramHandles spawn_histogram(World& world, const HistogramConfig& config) {
+  HistogramHandles handles{pgas::SharedArray<std::uint64_t>::allocate(
+      world, static_cast<std::size_t>(config.bins), pgas::Distribution::kBlock,
+      /*chunk_elems=*/1, "bin")};
+  util::Rng seeder(config.seed);
+  for (Rank r = 0; r < world.nprocs(); ++r) {
+    const std::uint64_t seed = seeder.next();
+    world.spawn(r, [config, bins = handles.bins, seed](Process& p) {
+      return histogram_program(p, config, bins, seed);
+    });
+  }
+  return handles;
+}
+
+std::uint64_t histogram_total(World& world, const HistogramHandles& handles) {
+  std::uint64_t total = 0;
+  for (std::size_t bin = 0; bin < handles.bins.size(); ++bin) {
+    const auto addr = handles.bins.address(bin);
+    const auto bytes = world.segment(addr.rank).read_bytes(addr.offset, sizeof(std::uint64_t));
+    std::uint64_t value;
+    std::memcpy(&value, bytes.data(), sizeof(value));
+    total += value;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// pipeline
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t token_tag(int t) { return (0x544bULL << 32) | static_cast<std::uint32_t>(t); }
+constexpr std::uint64_t ack_tag(int t) { return (0x414bULL << 32) | static_cast<std::uint32_t>(t); }
+
+sim::Task pipeline_program(Process& p, PipelineConfig cfg,
+                           std::vector<mem::GlobalAddress> slots,
+                           mem::GlobalAddress sink) {
+  const Rank r = p.rank();
+  const int n = p.nprocs();
+  std::uint64_t accumulated = 0;
+
+  for (int t = 0; t < cfg.tokens; ++t) {
+    std::uint64_t value = 0;
+    if (r == 0) {
+      value = static_cast<std::uint64_t>(t);
+    } else {
+      // Predecessor put the token into my slot, then signaled: the signal's
+      // clock orders my read after that write — no race.
+      co_await p.wait_signal(token_tag(t));
+      value = co_await p.get_value<std::uint64_t>(slots[static_cast<std::size_t>(r)]);
+      p.signal(r - 1, ack_tag(t));  // credit: predecessor may overwrite my slot.
+      value += 1;
+    }
+    if (r < n - 1) {
+      if (cfg.backpressure && t > 0) {
+        // Without this credit the put below races with the successor's
+        // read of the previous token.
+        co_await p.wait_signal(ack_tag(t - 1));
+      }
+      co_await p.put_value(slots[static_cast<std::size_t>(r + 1)], value);
+      p.signal(r + 1, token_tag(t));
+    } else {
+      accumulated += value;
+    }
+  }
+  if (r == n - 1) {
+    co_await p.put_value(sink, accumulated);
+  }
+}
+
+}  // namespace
+
+PipelineHandles spawn_pipeline(World& world, const PipelineConfig& config) {
+  DSMR_REQUIRE(world.nprocs() >= 2, "pipeline needs at least two ranks");
+  std::vector<mem::GlobalAddress> slots;
+  for (Rank r = 0; r < world.nprocs(); ++r) {
+    slots.push_back(world.alloc(r, sizeof(std::uint64_t), "slot" + std::to_string(r)));
+  }
+  PipelineHandles handles;
+  handles.sink = world.alloc(world.nprocs() - 1, sizeof(std::uint64_t), "sink");
+  for (Rank r = 0; r < world.nprocs(); ++r) {
+    world.spawn(r, [config, slots, sink = handles.sink](Process& p) {
+      return pipeline_program(p, config, slots, sink);
+    });
+  }
+  return handles;
+}
+
+std::uint64_t pipeline_expected(int nprocs, const PipelineConfig& config) {
+  std::uint64_t total = 0;
+  for (int t = 0; t < config.tokens; ++t) {
+    total += static_cast<std::uint64_t>(t) + static_cast<std::uint64_t>(nprocs - 1);
+  }
+  return total;
+}
+
+}  // namespace dsmr::workload

@@ -1,0 +1,118 @@
+// Unit tests for the NIC lock manager: FIFO grants, handoff clocks,
+// contention stats.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nic/lock_manager.hpp"
+#include "sim/engine.hpp"
+
+namespace dsmr::nic {
+namespace {
+
+TEST(LockToken, EncodesRankInHighBits) {
+  const LockToken t = make_lock_token(7, 123);
+  EXPECT_EQ(t >> 32, 7u);
+  EXPECT_EQ(t & 0xffffffffULL, 123u);
+}
+
+TEST(LockManager, UncontendedAcquireIsImmediate) {
+  LockManager locks;
+  const auto f = locks.acquire(0, make_lock_token(0, 1));
+  EXPECT_TRUE(f.ready());
+  EXPECT_TRUE(locks.is_locked(0));
+  EXPECT_TRUE(locks.held_by(0, make_lock_token(0, 1)));
+}
+
+TEST(LockManager, ContendedWaitsForRelease) {
+  sim::Engine engine;
+  LockManager locks;
+  const LockToken a = make_lock_token(0, 1);
+  const LockToken b = make_lock_token(1, 2);
+  locks.acquire(0, a);
+  bool granted = false;
+  locks.acquire(0, b).on_ready([&] { granted = true; });
+  EXPECT_FALSE(granted);
+  engine.schedule_at(5, [&] { locks.release(0, a); });
+  engine.run();
+  EXPECT_TRUE(granted);
+  EXPECT_TRUE(locks.held_by(0, b));
+}
+
+TEST(LockManager, GrantsAreFifo) {
+  sim::Engine engine;
+  LockManager locks;
+  std::vector<int> order;
+  locks.acquire(3, make_lock_token(0, 1));
+  for (int i = 1; i <= 4; ++i) {
+    locks.acquire(3, make_lock_token(i, 10 + static_cast<std::uint64_t>(i)))
+        .on_ready([&order, i] { order.push_back(i); });
+  }
+  engine.schedule_at(0, [&] { locks.release(3, make_lock_token(0, 1)); });
+  // Each grantee releases in turn.
+  for (int i = 1; i <= 4; ++i) {
+    engine.schedule_at(static_cast<sim::Time>(i * 10), [&locks, i] {
+      locks.release(3, make_lock_token(i, 10 + static_cast<std::uint64_t>(i)));
+    });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(LockManager, IndependentAreasDoNotInterfere) {
+  LockManager locks;
+  EXPECT_TRUE(locks.acquire(0, make_lock_token(0, 1)).ready());
+  EXPECT_TRUE(locks.acquire(1, make_lock_token(1, 2)).ready());
+  EXPECT_TRUE(locks.is_locked(0));
+  EXPECT_TRUE(locks.is_locked(1));
+  locks.release(0, make_lock_token(0, 1));
+  EXPECT_FALSE(locks.is_locked(0));
+  EXPECT_TRUE(locks.is_locked(1));
+}
+
+TEST(LockManager, HolderReportsToken) {
+  LockManager locks;
+  EXPECT_EQ(locks.holder(5), 0u);
+  locks.acquire(5, make_lock_token(2, 9));
+  EXPECT_EQ(locks.holder(5), make_lock_token(2, 9));
+}
+
+TEST(LockManagerDeath, ReleaseByNonHolderPanics) {
+  LockManager locks;
+  locks.acquire(0, make_lock_token(0, 1));
+  EXPECT_DEATH(locks.release(0, make_lock_token(1, 2)), "non-holder");
+}
+
+TEST(LockManagerDeath, ReleaseUnheldPanics) {
+  LockManager locks;
+  EXPECT_DEATH(locks.release(0, make_lock_token(0, 1)), "unheld");
+}
+
+TEST(LockManagerDeath, ReentrantAcquirePanics) {
+  LockManager locks;
+  locks.acquire(0, make_lock_token(0, 1));
+  EXPECT_DEATH(locks.acquire(0, make_lock_token(0, 1)), "re-entrant");
+}
+
+TEST(LockManager, HandoffClockMergesAcrossReleases) {
+  LockManager locks;
+  EXPECT_EQ(locks.handoff(0), nullptr);
+  locks.set_handoff(0, clocks::VectorClock{1, 0});
+  locks.set_handoff(0, clocks::VectorClock{0, 2});
+  ASSERT_NE(locks.handoff(0), nullptr);
+  EXPECT_EQ(*locks.handoff(0), (clocks::VectorClock{1, 2}));
+}
+
+TEST(LockManager, StatsTrackContention) {
+  sim::Engine engine;
+  LockManager locks;
+  locks.acquire(0, make_lock_token(0, 1));
+  locks.acquire(0, make_lock_token(1, 2));
+  locks.acquire(0, make_lock_token(2, 3));
+  EXPECT_EQ(locks.stats().acquisitions, 3u);
+  EXPECT_EQ(locks.stats().contended, 2u);
+  EXPECT_EQ(locks.stats().max_queue, 2u);
+}
+
+}  // namespace
+}  // namespace dsmr::nic

@@ -1,0 +1,104 @@
+// Unit tests for public memory segments and registered areas.
+#include <gtest/gtest.h>
+
+#include "mem/public_segment.hpp"
+
+namespace dsmr::mem {
+namespace {
+
+TEST(PublicSegment, RegisterAndLookup) {
+  PublicSegment seg(0, 1024, 4);
+  const AreaId a = seg.register_area(0, 64, "a");
+  const AreaId b = seg.register_area(64, 32, "b");
+  EXPECT_EQ(seg.area_count(), 2u);
+  EXPECT_EQ(seg.area(a).name, "a");
+  EXPECT_EQ(seg.area(b).offset, 64u);
+
+  Area* found = seg.find_area(10, 4);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->id, a);
+  found = seg.find_area(64, 32);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->id, b);
+}
+
+TEST(PublicSegment, LookupFailsOutsideAreas) {
+  PublicSegment seg(0, 1024, 2);
+  seg.register_area(100, 50, "mid");
+  EXPECT_EQ(seg.find_area(0, 8), nullptr);     // before.
+  EXPECT_EQ(seg.find_area(200, 8), nullptr);   // after.
+  EXPECT_EQ(seg.find_area(140, 20), nullptr);  // straddles the end.
+}
+
+TEST(PublicSegment, RangeMustFitOneArea) {
+  PublicSegment seg(0, 1024, 2);
+  seg.register_area(0, 64, "a");
+  seg.register_area(64, 64, "b");
+  // A range crossing the a/b boundary resolves to no single area: the area
+  // is the unit of locking and detection.
+  EXPECT_EQ(seg.find_area(60, 8), nullptr);
+  EXPECT_NE(seg.find_area(60, 4), nullptr);
+}
+
+TEST(PublicSegmentDeath, OverlapIsRejected) {
+  PublicSegment seg(0, 1024, 2);
+  seg.register_area(0, 64, "a");
+  EXPECT_DEATH(seg.register_area(32, 64, "overlap"), "overlaps");
+  EXPECT_DEATH(seg.register_area(0, 16, "inside"), "overlaps");
+}
+
+TEST(PublicSegmentDeath, OutOfBoundsAreaIsRejected) {
+  PublicSegment seg(0, 128, 2);
+  EXPECT_DEATH(seg.register_area(100, 64, "late"), "exceeds");
+  EXPECT_DEATH(seg.register_area(0, 0, "empty"), "positive size");
+}
+
+TEST(PublicSegment, AllocateAreaBumps) {
+  PublicSegment seg(0, 256, 2);
+  const AreaId a = seg.allocate_area(64, "a");
+  const AreaId b = seg.allocate_area(64, "b");
+  EXPECT_EQ(seg.area(a).offset, 0u);
+  EXPECT_EQ(seg.area(b).offset, 64u);
+}
+
+TEST(PublicSegment, AllocateAfterExplicitRegistration) {
+  PublicSegment seg(0, 256, 2);
+  seg.register_area(32, 32, "explicit");
+  const AreaId next = seg.allocate_area(16, "bumped");
+  EXPECT_GE(seg.area(next).offset, 64u);
+}
+
+TEST(PublicSegment, ReadWriteRoundTrip) {
+  PublicSegment seg(0, 64, 2);
+  seg.register_area(0, 64, "data");
+  std::vector<std::byte> payload = {std::byte{1}, std::byte{2}, std::byte{3}};
+  seg.write_bytes(10, payload);
+  EXPECT_EQ(seg.read_bytes(10, 3), payload);
+  EXPECT_EQ(seg.read_bytes(9, 1)[0], std::byte{0});
+}
+
+TEST(PublicSegment, AreasCarryClocksSizedToProcessCount) {
+  PublicSegment seg(1, 256, 8);
+  const AreaId a = seg.allocate_area(16, "x");
+  EXPECT_EQ(seg.area(a).v_clock.size(), 8u);
+  EXPECT_EQ(seg.area(a).w_clock.size(), 8u);
+  EXPECT_TRUE(seg.area(a).v_clock.is_zero());
+}
+
+TEST(PublicSegment, ClockBytesAccounting) {
+  // §V.A: storage overhead = 2 clocks × n entries × 8 bytes per area.
+  PublicSegment seg(0, 1024, 10);
+  seg.allocate_area(8, "a");
+  seg.allocate_area(8, "b");
+  EXPECT_EQ(seg.total_clock_bytes(), 2u * 2u * 10u * sizeof(ClockValue));
+}
+
+TEST(GlobalAddress, PlusAndToString) {
+  const GlobalAddress addr{3, 100};
+  EXPECT_EQ(addr.plus(28).offset, 128u);
+  EXPECT_EQ(addr.plus(28).rank, 3);
+  EXPECT_EQ(addr.to_string(), "P3+100");
+}
+
+}  // namespace
+}  // namespace dsmr::mem

@@ -1,0 +1,323 @@
+// Executable reproductions of the paper's worked figures.
+//
+//  * Fig. 4  — two concurrent gets on an initialized variable: NO race
+//              (and the single-clock ablation flags it — §IV.D).
+//  * Fig. 5a — puts m1 (P0→P1) and m2 (P2→P1) with no ordering: race, with
+//              the figure's exact clocks (110 × 001).
+//  * Fig. 5b — a get followed by a causally ordered chain ending in a put:
+//              NO race between m1 (get) and m3 (put).
+//  * Fig. 5c — 4 processes, write m1 concurrent with the chained write m4:
+//              race, stored write clock exactly 1100. Requires the paper's
+//              pure unacknowledged puts; with acknowledged puts the chain
+//              becomes causally ordered and correctly reports clean.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "runtime/process.hpp"
+#include "runtime/world.hpp"
+
+namespace dsmr::runtime {
+namespace {
+
+using clocks::VectorClock;
+using core::DetectorMode;
+using core::Transport;
+using mem::GlobalAddress;
+
+WorldConfig figure_config(int nprocs, DetectorMode mode = DetectorMode::kDualClock) {
+  WorldConfig config;
+  config.nprocs = nprocs;
+  config.mode = mode;
+  config.latency.jitter_ns = 0;  // figures assume a fixed interleaving.
+  return config;
+}
+
+void init_value(World& world, GlobalAddress addr, std::uint64_t value) {
+  // Model "the variable is initialized at v0 before the remote accesses":
+  // initial state, not an access event.
+  std::vector<std::byte> bytes(sizeof(value));
+  std::memcpy(bytes.data(), &value, sizeof(value));
+  world.segment(addr.rank).write_bytes(addr.offset, bytes);
+}
+
+std::uint64_t read_u64(World& world, GlobalAddress addr) {
+  std::uint64_t value = 0;
+  const auto bytes = world.segment(addr.rank).read_bytes(addr.offset, 8);
+  std::memcpy(&value, bytes.data(), 8);
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4
+// ---------------------------------------------------------------------------
+
+TEST(Fig4, ConcurrentGetsAreNotARace) {
+  World world(figure_config(3));
+  const GlobalAddress a = world.alloc(1, 8, "a");
+  init_value(world, a, 'A');
+
+  std::uint64_t seen0 = 0, seen2 = 0;
+  world.spawn(0, [a, &seen0](Process& p) -> sim::Task {
+    seen0 = co_await p.get_value<std::uint64_t>(a);
+  });
+  world.spawn(2, [a, &seen2](Process& p) -> sim::Task {
+    co_await p.sleep(10'000);  // strictly after P0's get, still unordered.
+    seen2 = co_await p.get_value<std::uint64_t>(a);
+  });
+  EXPECT_TRUE(world.run().completed);
+  // "Since none of the concurrent operations modifies its value, this is
+  // not a race condition."
+  EXPECT_EQ(world.races().count(), 0u);
+  EXPECT_EQ(seen0, static_cast<std::uint64_t>('A'));
+  EXPECT_EQ(seen2, static_cast<std::uint64_t>('A'));
+}
+
+TEST(Fig4, SingleClockAblationFlagsConcurrentReads) {
+  // §IV.D: without the dedicated write clock, the same scenario produces
+  // the false positive the paper's refinement eliminates.
+  World world(figure_config(3, DetectorMode::kSingleClock));
+  const GlobalAddress a = world.alloc(1, 8, "a");
+  init_value(world, a, 'A');
+  world.spawn(0, [a](Process& p) -> sim::Task { co_await p.get(a, 8); });
+  world.spawn(2, [a](Process& p) -> sim::Task {
+    co_await p.sleep(10'000);
+    co_await p.get(a, 8);
+  });
+  EXPECT_TRUE(world.run().completed);
+  EXPECT_GE(world.races().count(), 1u);
+  EXPECT_EQ(world.races().reports().front().kind, core::AccessKind::kRead);
+}
+
+TEST(Fig4, DualClockMemoryCostIsTwiceSingleClock) {
+  // The price of the refinement (§IV.D): "it doubles the necessary amount
+  // of memory" — V and W per area instead of one clock.
+  World world(figure_config(3));
+  const GlobalAddress a = world.alloc(1, 8, "a");
+  const auto& area = world.segment(1).area(0);
+  EXPECT_EQ(area.clock_bytes(), 2u * 3u * sizeof(ClockValue));
+  (void)a;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5a
+// ---------------------------------------------------------------------------
+
+TEST(Fig5a, UnorderedPutsRaceWithExactFigureClocks) {
+  World world(figure_config(3));
+  const GlobalAddress x = world.alloc(1, 8, "x");
+
+  world.spawn(0, [x](Process& p) -> sim::Task {  // m1
+    co_await p.put_value(x, std::uint64_t{1});
+  });
+  world.spawn(2, [x](Process& p) -> sim::Task {  // m2, after m1 landed.
+    co_await p.sleep(20'000);
+    co_await p.put_value(x, std::uint64_t{2});
+  });
+  EXPECT_TRUE(world.run().completed);
+
+  ASSERT_EQ(world.races().count(), 1u);
+  const auto& report = world.races().reports().front();
+  // "110 × 001" — the exact clocks of the figure.
+  EXPECT_EQ(report.stored_clock, (VectorClock{1, 1, 0}));
+  EXPECT_EQ(report.accessor_clock, (VectorClock{0, 0, 1}));
+  EXPECT_EQ(report.accessor, 2);
+  EXPECT_EQ(report.home, 1);
+  EXPECT_EQ(report.kind, core::AccessKind::kWrite);
+  EXPECT_EQ(report.area_name, "x");
+}
+
+TEST(Fig5a, RaceIsSignaledButExecutionCompletes) {
+  // §IV.D: "they must not abort the execution of the program".
+  World world(figure_config(3));
+  const GlobalAddress x = world.alloc(1, 8, "x");
+  bool p0_finished = false, p2_finished = false;
+  world.spawn(0, [x, &p0_finished](Process& p) -> sim::Task {
+    co_await p.put_value(x, std::uint64_t{1});
+    co_await p.compute(1000);
+    p0_finished = true;
+  });
+  world.spawn(2, [x, &p2_finished](Process& p) -> sim::Task {
+    co_await p.sleep(20'000);
+    co_await p.put_value(x, std::uint64_t{2});
+    co_await p.compute(1000);
+    p2_finished = true;
+  });
+  EXPECT_TRUE(world.run().completed);
+  EXPECT_GE(world.races().count(), 1u);
+  EXPECT_TRUE(p0_finished);
+  EXPECT_TRUE(p2_finished);
+  // The last write landed despite the report.
+  EXPECT_EQ(read_u64(world, x), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5b
+// ---------------------------------------------------------------------------
+
+TEST(Fig5b, GetThenCausallyOrderedPutIsNotARace) {
+  World world(figure_config(3));
+  const GlobalAddress a = world.alloc(0, 8, "a");
+  init_value(world, a, 'A');
+
+  constexpr std::uint64_t kM2 = 77;
+  world.spawn(1, [a](Process& p) -> sim::Task {
+    co_await p.get_value<std::uint64_t>(a);  // get1/m1: remote read of a.
+    p.signal(2, kM2);                        // m2: knowledge flows to P2.
+  });
+  world.spawn(2, [a](Process& p) -> sim::Task {
+    co_await p.wait_signal(kM2);
+    co_await p.put_value(a, std::uint64_t{'B'});  // m3: causally after the get.
+  });
+  EXPECT_TRUE(world.run().completed);
+  // "No race condition between m1 (get) and m3 (put)."
+  EXPECT_EQ(world.races().count(), 0u);
+  EXPECT_EQ(read_u64(world, a), static_cast<std::uint64_t>('B'));
+}
+
+TEST(Fig5b, UnorderedPutAfterGetIsARace) {
+  // Counterpart: the same put *without* the causal chain races with the
+  // get's trace in V — this is why puts compare against V, not W.
+  World world(figure_config(3));
+  const GlobalAddress a = world.alloc(0, 8, "a");
+  init_value(world, a, 'A');
+  world.spawn(1, [a](Process& p) -> sim::Task {
+    co_await p.get_value<std::uint64_t>(a);
+  });
+  world.spawn(2, [a](Process& p) -> sim::Task {
+    co_await p.sleep(20'000);  // after the get in time, but unordered.
+    co_await p.put_value(a, std::uint64_t{'B'});
+  });
+  EXPECT_TRUE(world.run().completed);
+  ASSERT_GE(world.races().count(), 1u);
+  const auto& report = world.races().reports().front();
+  EXPECT_EQ(report.kind, core::AccessKind::kWrite);
+  EXPECT_EQ(report.against, core::ComparedAgainst::kV);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5c
+// ---------------------------------------------------------------------------
+
+TEST(Fig5c, ChainedWriteRacesWithUnacknowledgedPuts) {
+  // The paper's pure one-sided puts: m1's completion is unknown to anyone,
+  // so the chain m2 → m3 → m4 never learns of m1 and m4 races with it.
+  WorldConfig config = figure_config(4);
+  config.acked_puts = false;
+  World world(config);
+  const GlobalAddress x = world.alloc(1, 8, "x");
+  const GlobalAddress y = world.alloc(2, 8, "y");
+  const GlobalAddress z = world.alloc(3, 8, "z");
+
+  constexpr std::uint64_t kTagA = 1001, kTagB = 1002;
+  world.spawn(0, [x, y](Process& p) -> sim::Task {
+    co_await p.put_value(x, std::uint64_t{11});  // m1
+    co_await p.put_value(y, std::uint64_t{22});  // m2
+    p.signal(2, kTagA);
+  });
+  world.spawn(2, [z](Process& p) -> sim::Task {
+    co_await p.wait_signal(kTagA);
+    co_await p.put_value(z, std::uint64_t{33});  // m3
+    p.signal(3, kTagB);
+  });
+  world.spawn(3, [x](Process& p) -> sim::Task {
+    co_await p.wait_signal(kTagB);
+    co_await p.put_value(x, std::uint64_t{44});  // m4 — races with m1.
+  });
+  EXPECT_TRUE(world.run().completed);
+
+  ASSERT_EQ(world.races().count(), 1u);
+  const auto& report = world.races().reports().front();
+  EXPECT_EQ(report.area_name, "x");
+  EXPECT_EQ(report.accessor, 3);
+  EXPECT_EQ(report.kind, core::AccessKind::kWrite);
+  // The stored clock is exactly the figure's 1100 (m1's application at P1).
+  EXPECT_EQ(report.stored_clock, (VectorClock{1, 1, 0, 0}));
+  // m4's clock knows P0 and the chain but has never heard from P1.
+  EXPECT_EQ(report.accessor_clock[1], 0u);
+  EXPECT_GE(report.accessor_clock[0], 2u);
+}
+
+TEST(Fig5c, AcknowledgedPutsOrderTheChainAndReportClean) {
+  // With completion-acknowledged puts (our default, = MPI_Put + flush), P0
+  // knows m1 applied before starting m2; the chain inherits that knowledge
+  // and m4 is genuinely ordered after m1 — correctly no race.
+  WorldConfig config = figure_config(4);
+  config.acked_puts = true;
+  World world(config);
+  const GlobalAddress x = world.alloc(1, 8, "x");
+  const GlobalAddress y = world.alloc(2, 8, "y");
+  const GlobalAddress z = world.alloc(3, 8, "z");
+
+  constexpr std::uint64_t kTagA = 2001, kTagB = 2002;
+  world.spawn(0, [x, y](Process& p) -> sim::Task {
+    co_await p.put_value(x, std::uint64_t{11});
+    co_await p.put_value(y, std::uint64_t{22});
+    p.signal(2, kTagA);
+  });
+  world.spawn(2, [z](Process& p) -> sim::Task {
+    co_await p.wait_signal(kTagA);
+    co_await p.put_value(z, std::uint64_t{33});
+    p.signal(3, kTagB);
+  });
+  world.spawn(3, [x](Process& p) -> sim::Task {
+    co_await p.wait_signal(kTagB);
+    co_await p.put_value(x, std::uint64_t{44});
+  });
+  EXPECT_TRUE(world.run().completed);
+  EXPECT_EQ(world.races().count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-checks: the scenarios under every transport.
+// ---------------------------------------------------------------------------
+
+class ScenarioTransports : public ::testing::TestWithParam<Transport> {};
+
+TEST_P(ScenarioTransports, Fig5aVerdictHoldsOnEveryTransport) {
+  WorldConfig config = figure_config(3);
+  config.transport = GetParam();
+  World world(config);
+  const GlobalAddress x = world.alloc(1, 8, "x");
+  world.spawn(0, [x](Process& p) -> sim::Task {
+    co_await p.put_value(x, std::uint64_t{1});
+  });
+  world.spawn(2, [x](Process& p) -> sim::Task {
+    co_await p.sleep(50'000);
+    co_await p.put_value(x, std::uint64_t{2});
+  });
+  EXPECT_TRUE(world.run().completed);
+  ASSERT_EQ(world.races().count(), 1u);
+  EXPECT_EQ(world.races().reports().front().stored_clock, (VectorClock{1, 1, 0}));
+}
+
+TEST_P(ScenarioTransports, Fig4VerdictHoldsOnEveryTransport) {
+  WorldConfig config = figure_config(3);
+  config.transport = GetParam();
+  World world(config);
+  const GlobalAddress a = world.alloc(1, 8, "a");
+  init_value(world, a, 'A');
+  world.spawn(0, [a](Process& p) -> sim::Task { co_await p.get(a, 8); });
+  world.spawn(2, [a](Process& p) -> sim::Task {
+    co_await p.sleep(50'000);
+    co_await p.get(a, 8);
+  });
+  EXPECT_TRUE(world.run().completed);
+  EXPECT_EQ(world.races().count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransports, ScenarioTransports,
+                         ::testing::Values(Transport::kSeparate, Transport::kPiggyback,
+                                           Transport::kHomeSide),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Transport::kSeparate: return "Separate";
+                             case Transport::kPiggyback: return "Piggyback";
+                             case Transport::kHomeSide: return "HomeSide";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace dsmr::runtime

@@ -1,0 +1,198 @@
+// Unit tests for the discrete-event engine and the coroutine plumbing.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/future.hpp"
+#include "sim/task.hpp"
+
+namespace dsmr::sim {
+namespace {
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(30, [&] { order.push_back(3); });
+  engine.schedule_at(10, [&] { order.push_back(1); });
+  engine.schedule_at(20, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30u);
+}
+
+TEST(Engine, SameTimeEventsFireInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, NestedSchedulingAdvancesTime) {
+  Engine engine;
+  Time saw = 0;
+  engine.schedule_at(10, [&] {
+    engine.schedule_after(5, [&] { saw = engine.now(); });
+  });
+  engine.run();
+  EXPECT_EQ(saw, 15u);
+}
+
+TEST(Engine, MaxEventsStopsEarly) {
+  Engine engine;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) engine.schedule_at(static_cast<Time>(i), [&] { ++fired; });
+  const auto processed = engine.run(4);
+  EXPECT_EQ(processed, 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_FALSE(engine.idle());
+  engine.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Engine, CurrentIsSetDuringRun) {
+  Engine engine;
+  Engine* observed = nullptr;
+  engine.schedule_at(0, [&] { observed = Engine::current(); });
+  EXPECT_EQ(Engine::current(), nullptr);
+  engine.run();
+  EXPECT_EQ(observed, &engine);
+  EXPECT_EQ(Engine::current(), nullptr);
+}
+
+TEST(Future, PromiseResolvesCallback) {
+  Engine engine;
+  Promise<int> promise;
+  int seen = 0;
+  promise.future().on_ready([&](const int& v) { seen = v; });
+  engine.schedule_at(3, [&] { promise.set_value(41); });
+  engine.run();
+  EXPECT_EQ(seen, 41);
+}
+
+TEST(Future, CallbackAfterResolutionRunsImmediately) {
+  Promise<int> promise;
+  promise.set_value(7);
+  int seen = 0;
+  promise.future().on_ready([&](const int& v) { seen = v; });
+  EXPECT_EQ(seen, 7);
+}
+
+Future<int> add_later(Engine& engine, int a, int b) {
+  co_await Delay{engine, 10};
+  co_return a + b;
+}
+
+TEST(Future, CoroutineReturnsValueThroughDelay) {
+  Engine engine;
+  int result = 0;
+  engine.schedule_at(0, [&] {
+    add_later(engine, 2, 3).on_ready([&](const int& v) { result = v; });
+  });
+  engine.run();
+  EXPECT_EQ(result, 5);
+  EXPECT_EQ(engine.now(), 10u);
+}
+
+Future<int> chain(Engine& engine) {
+  const int first = co_await add_later(engine, 1, 2);
+  const int second = co_await add_later(engine, first, 10);
+  co_return second;
+}
+
+TEST(Future, CoroutinesCompose) {
+  Engine engine;
+  int result = 0;
+  engine.schedule_at(0, [&] { chain(engine).on_ready([&](const int& v) { result = v; }); });
+  engine.run();
+  EXPECT_EQ(result, 13);
+  EXPECT_EQ(engine.now(), 20u);
+}
+
+TEST(Future, MultipleWaitersAllResume) {
+  Engine engine;
+  Promise<std::string> promise;
+  int resumed = 0;
+  auto waiter = [&](Future<std::string> f) -> Future<int> {
+    const std::string v = co_await f;
+    EXPECT_EQ(v, "done");
+    ++resumed;
+    co_return 0;
+  };
+  engine.schedule_at(0, [&] {
+    waiter(promise.future());
+    waiter(promise.future());
+    waiter(promise.future());
+  });
+  engine.schedule_at(5, [&] { promise.set_value("done"); });
+  engine.run();
+  EXPECT_EQ(resumed, 3);
+}
+
+TEST(Future, VoidSpecialization) {
+  Engine engine;
+  Promise<void> promise;
+  bool done = false;
+  promise.future().on_ready([&] { done = true; });
+  engine.schedule_at(1, [&] { promise.set_value(); });
+  engine.run();
+  EXPECT_TRUE(done);
+}
+
+Task counting_task(Engine& engine, int* counter) {
+  ++*counter;
+  co_await Delay{engine, 5};
+  ++*counter;
+}
+
+TEST(Task, LazyStartAndCompletion) {
+  Engine engine;
+  int counter = 0;
+  Task task = counting_task(engine, &counter);
+  EXPECT_EQ(counter, 0);  // lazy: nothing ran yet.
+  EXPECT_FALSE(task.done());
+  bool notified = false;
+  task.set_on_done([&] { notified = true; });
+  engine.schedule_at(0, [&] { task.start(); });
+  engine.run();
+  EXPECT_EQ(counter, 2);
+  EXPECT_TRUE(task.done());
+  EXPECT_TRUE(notified);
+}
+
+TEST(Task, DestructionOfSuspendedTaskIsSafe) {
+  // Contract: a Task may be destroyed while suspended (deadlocked programs
+  // at teardown), provided the engine is not run afterwards — the World
+  // guarantees that ordering. Destruction itself must not crash or leak.
+  Engine engine;
+  int counter = 0;
+  {
+    Task task = counting_task(engine, &counter);
+    engine.schedule_at(0, [&] { task.start(); });
+    engine.run(1);  // start it, but never deliver the delay completion.
+    EXPECT_EQ(counter, 1);
+  }  // task destroyed while suspended (ASan build checks the frame free).
+  SUCCEED();
+}
+
+TEST(Determinism, SameScheduleSameTrace) {
+  auto run_once = [] {
+    Engine engine;
+    std::vector<Time> trace;
+    for (int i = 0; i < 50; ++i) {
+      engine.schedule_at(static_cast<Time>((i * 37) % 17), [&trace, &engine] {
+        trace.push_back(engine.now());
+      });
+    }
+    engine.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace dsmr::sim

@@ -1,0 +1,169 @@
+// Tests for the trace exporters: JSONL records, chrome trace document,
+// message recording through the fabric tap.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "runtime/process.hpp"
+#include "runtime/world.hpp"
+#include "trace/trace.hpp"
+
+namespace dsmr::trace {
+namespace {
+
+using runtime::Process;
+using runtime::World;
+using runtime::WorldConfig;
+
+/// Structural JSON sanity: balanced braces/brackets outside strings.
+bool balanced_json(const std::string& text) {
+  int depth = 0, array_depth = 0;
+  bool in_string = false, escaped = false;
+  for (const char c : text) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (c == '"') {
+      in_string = !in_string;
+      continue;
+    }
+    if (in_string) continue;
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    if (c == '[') ++array_depth;
+    if (c == ']') --array_depth;
+    if (depth < 0 || array_depth < 0) return false;
+  }
+  return depth == 0 && array_depth == 0 && !in_string;
+}
+
+struct TracedRun {
+  TracedRun() : world(make_config()), recorder(world.fabric()) {
+    const auto x = world.alloc(1, 8, "x");
+    world.spawn(0, [x](Process& p) -> sim::Task {
+      co_await p.put_value(x, std::uint64_t{1});
+    });
+    world.spawn(2, [x](Process& p) -> sim::Task {
+      co_await p.sleep(20'000);
+      co_await p.put_value(x, std::uint64_t{2});
+    });
+    report = world.run();
+  }
+
+  static WorldConfig make_config() {
+    WorldConfig config;
+    config.nprocs = 3;
+    config.latency.jitter_ns = 0;
+    return config;
+  }
+
+  World world;
+  MessageRecorder recorder;
+  runtime::RunReport report;
+};
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+TEST(Trace, MessageRecorderSeesEveryMessage) {
+  TracedRun run;
+  EXPECT_TRUE(run.report.completed);
+  EXPECT_EQ(run.recorder.size(), run.world.traffic().total_messages);
+  // Delivery strictly after send; FIFO per recorded channel order.
+  for (const auto& record : run.recorder.records()) {
+    EXPECT_GT(record.deliver_time, record.send_time);
+  }
+}
+
+TEST(Trace, JsonlHasOneLinePerEventAndRace) {
+  TracedRun run;
+  std::ostringstream out;
+  write_jsonl(out, run.world.events(), run.world.races());
+  const std::string text = out.str();
+  const auto lines = static_cast<std::size_t>(
+      std::count(text.begin(), text.end(), '\n'));
+  EXPECT_EQ(lines, run.world.events().size() + run.world.races().count());
+  // Every line is balanced JSON and self-describes its kind.
+  std::istringstream in(text);
+  std::string line;
+  std::size_t access_lines = 0, race_lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(balanced_json(line)) << line;
+    if (line.find("\"kind\":\"access\"") != std::string::npos) ++access_lines;
+    if (line.find("\"kind\":\"race\"") != std::string::npos) ++race_lines;
+  }
+  EXPECT_EQ(access_lines, run.world.events().size());
+  EXPECT_EQ(race_lines, run.world.races().count());
+}
+
+TEST(Trace, AccessJsonCarriesClocks) {
+  TracedRun run;
+  const auto& event = run.world.events().events().front();
+  const std::string json = to_json(event);
+  EXPECT_NE(json.find("\"issue_clock\":[1,0,0]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"apply_seq\":1"), std::string::npos) << json;
+}
+
+TEST(Trace, RaceJsonNamesBothSides) {
+  TracedRun run;
+  ASSERT_GE(run.world.races().count(), 1u);
+  const std::string json = to_json(run.world.races().reports().front());
+  EXPECT_NE(json.find("\"area_name\":\"x\""), std::string::npos);
+  EXPECT_NE(json.find("\"stored_clock\":[1,1,0]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"accessor_clock\":[0,0,1]"), std::string::npos) << json;
+}
+
+TEST(Trace, ChromeTraceIsWellFormedAndComplete) {
+  TracedRun run;
+  const std::string doc =
+      to_chrome_trace(run.world.events(), run.world.races(), run.recorder.records());
+  EXPECT_TRUE(balanced_json(doc));
+  EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+  // One instant event per access, one per race.
+  const auto count_occurrences = [&](const std::string& needle) {
+    std::size_t count = 0, pos = 0;
+    while ((pos = doc.find(needle, pos)) != std::string::npos) {
+      ++count;
+      pos += needle.size();
+    }
+    return count;
+  };
+  EXPECT_EQ(count_occurrences("\"ph\":\"i\""),
+            run.world.events().size() + run.world.races().count());
+  // One flow start + one flow finish per message.
+  EXPECT_EQ(count_occurrences("\"ph\":\"s\""), run.recorder.size());
+  EXPECT_EQ(count_occurrences("\"ph\":\"f\""), run.recorder.size());
+  // Rank rows are named.
+  EXPECT_NE(doc.find("\"name\":\"P0\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"P2\""), std::string::npos);
+}
+
+TEST(Trace, MessageJsonRoundsTripFields) {
+  MessageRecord record;
+  record.send_time = 5;
+  record.deliver_time = 9;
+  record.type = net::MsgType::kPutCommit;
+  record.src = 0;
+  record.dst = 1;
+  record.op_id = 3;
+  record.wire_bytes = 72;
+  const std::string json = to_json(record);
+  EXPECT_NE(json.find("\"type\":\"PUT_COMMIT\""), std::string::npos);
+  EXPECT_NE(json.find("\"send\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"deliver\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":72"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsmr::trace

@@ -1,0 +1,192 @@
+// Unit tests for dsmr::util — RNG determinism, statistics, table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace dsmr::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(5);
+  Rng child = parent.fork(0);
+  Rng parent2(5);
+  Rng child2 = parent2.fork(0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child.next(), child2.next());
+
+  Rng parent3(5);
+  Rng other = parent3.fork(1);
+  int equal = 0;
+  Rng child3 = Rng(5).fork(0);
+  for (int i = 0; i < 100; ++i) equal += child3.next() == other.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(OnlineStats, MeanAndVariance) {
+  OnlineStats stats;
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  for (double x : xs) stats.add(x);
+  EXPECT_EQ(stats.count(), xs.size());
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  // Sample variance of the data set is 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats all, left, right;
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform() * 100;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(LogHistogram, QuantilesBracketSamples) {
+  LogHistogram hist;
+  for (std::uint64_t i = 1; i <= 1024; ++i) hist.add(i);
+  EXPECT_EQ(hist.count(), 1024u);
+  // The median of 1..1024 is ~512; the bucket estimate must be within 2x.
+  const double median = hist.quantile(0.5);
+  EXPECT_GE(median, 256.0);
+  EXPECT_LE(median, 1024.0);
+  EXPECT_LE(hist.quantile(0.0), hist.quantile(1.0));
+}
+
+TEST(LogHistogram, RenderShowsBuckets) {
+  LogHistogram hist;
+  hist.add(1);
+  hist.add(100);
+  const std::string out = hist.render();
+  EXPECT_NE(out.find("#"), std::string::npos);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer-name", "2.50"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(1.234567, 2), "1.23");
+  EXPECT_EQ(Table::fmt_int(42), "42");
+}
+
+
+TEST(Cli, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha", "3", "--beta=2.5", "--gamma", "--name", "xyz"};
+  Cli cli(7, const_cast<char**>(argv), "usage");
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(cli.get_double("beta", 0.0), 2.5);
+  EXPECT_TRUE(cli.get_flag("gamma"));
+  EXPECT_EQ(cli.get_string("name", ""), "xyz");
+  cli.finish();
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, const_cast<char**>(argv), "usage");
+  EXPECT_EQ(cli.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing2", 1.5), 1.5);
+  EXPECT_FALSE(cli.get_flag("missing3"));
+  EXPECT_EQ(cli.get_string("missing4", "dft"), "dft");
+  cli.finish();
+}
+
+TEST(Cli, FlagFalseValues) {
+  const char* argv[] = {"prog", "--a=false", "--b=0", "--c=true"};
+  Cli cli(4, const_cast<char**>(argv), "usage");
+  EXPECT_FALSE(cli.get_flag("a"));
+  EXPECT_FALSE(cli.get_flag("b"));
+  EXPECT_TRUE(cli.get_flag("c"));
+  cli.finish();
+}
+
+TEST(CliDeath, UnknownFlagPanicsOnFinish) {
+  const char* argv[] = {"prog", "--tpyo", "1"};
+  Cli cli(3, const_cast<char**>(argv), "usage");
+  EXPECT_DEATH(cli.finish(), "unknown flag --tpyo");
+}
+
+TEST(CliDeath, NonFlagArgumentRejected) {
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_DEATH(Cli(2, const_cast<char**>(argv), "usage"), "flags must start with --");
+}
+
+}  // namespace
+}  // namespace dsmr::util

@@ -1,0 +1,245 @@
+// Tests for the workload generators: functional correctness of each
+// workload's *computation* plus its expected race signature.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/ground_truth.hpp"
+#include "workload/workloads.hpp"
+
+namespace dsmr::workload {
+namespace {
+
+using runtime::World;
+using runtime::WorldConfig;
+
+WorldConfig config_for(int nprocs, std::uint64_t seed = 11) {
+  WorldConfig config;
+  config.nprocs = nprocs;
+  config.seed = seed;
+  return config;
+}
+
+// --- master/worker (the paper's §IV.D benign-race pattern) ------------------
+
+TEST(MasterWorker, BenignRaceIsSignaledAndRunCompletes) {
+  World world(config_for(4));
+  MasterWorkerConfig config;
+  config.tasks_per_worker = 3;
+  spawn_master_worker(world, config);
+  const auto report = world.run();
+  EXPECT_TRUE(report.completed);
+  // Three workers put into one slot with no mutual ordering: the detector
+  // must signal (workers' writes race with each other)...
+  EXPECT_GE(world.races().count(), 1u);
+  // ...and every report concerns the result slot.
+  for (const auto& r : world.races().reports()) {
+    EXPECT_EQ(r.area_name, "mw.result");
+  }
+  // The master's final read was ordered by the done-signals: no read report
+  // from rank 0.
+  for (const auto& r : world.races().reports()) {
+    EXPECT_NE(r.accessor, 0);
+  }
+}
+
+TEST(MasterWorker, SingleWorkerIsRaceFree) {
+  World world(config_for(2));
+  spawn_master_worker(world, MasterWorkerConfig{});
+  EXPECT_TRUE(world.run().completed);
+  EXPECT_EQ(world.races().count(), 0u);
+}
+
+// --- stencil -----------------------------------------------------------------
+
+TEST(Stencil, CorrectModeMatchesSequentialReference) {
+  StencilConfig config;
+  config.cells_per_rank = 8;
+  config.iters = 5;
+  World world(config_for(4));
+  const auto handles = spawn_stencil(world, config);
+  EXPECT_TRUE(world.run().completed);
+  EXPECT_EQ(world.races().count(), 0u);
+
+  const auto reference = stencil_reference(4, config);
+  for (Rank r = 0; r < 4; ++r) {
+    const auto bytes = world.segment(r).read_bytes(
+        handles.results[static_cast<std::size_t>(r)].offset,
+        static_cast<std::uint32_t>(config.cells_per_rank * sizeof(double)));
+    for (int i = 0; i < config.cells_per_rank; ++i) {
+      double v;
+      std::memcpy(&v, bytes.data() + i * sizeof(double), sizeof(double));
+      const double expected =
+          reference[static_cast<std::size_t>(r * config.cells_per_rank + i)];
+      EXPECT_NEAR(v, expected, 1e-9) << "rank " << r << " cell " << i;
+    }
+  }
+}
+
+TEST(Stencil, BuggyModeRacesOnHalos) {
+  StencilConfig config;
+  config.cells_per_rank = 8;
+  config.iters = 5;
+  config.buggy = true;  // no barriers.
+  World world(config_for(4));
+  spawn_stencil(world, config);
+  EXPECT_TRUE(world.run().completed);
+  EXPECT_GE(world.races().count(), 1u);
+  // The races are on halo areas, and the detector names them.
+  bool saw_halo = false;
+  for (const auto& r : world.races().reports()) {
+    if (r.area_name.rfind("halo", 0) == 0) saw_halo = true;
+  }
+  EXPECT_TRUE(saw_halo);
+}
+
+TEST(Stencil, TwoRankEdgeCase) {
+  StencilConfig config;
+  config.cells_per_rank = 4;
+  config.iters = 2;
+  World world(config_for(2));
+  spawn_stencil(world, config);
+  EXPECT_TRUE(world.run().completed);
+  EXPECT_EQ(world.races().count(), 0u);
+}
+
+// --- histogram ----------------------------------------------------------------
+
+TEST(Histogram, LockedModePreservesEveryIncrement) {
+  HistogramConfig config;
+  config.bins = 8;
+  config.increments_per_rank = 25;
+  config.locked = true;
+  World world(config_for(4));
+  const auto handles = spawn_histogram(world, config);
+  EXPECT_TRUE(world.run().completed);
+  EXPECT_EQ(world.races().count(), 0u);
+  EXPECT_EQ(histogram_total(world, handles), 4u * 25u);
+}
+
+TEST(Histogram, UnlockedModeRacesAndMayLoseUpdates) {
+  HistogramConfig config;
+  config.bins = 4;  // high contention.
+  config.increments_per_rank = 25;
+  config.locked = false;
+  World world(config_for(4));
+  const auto handles = spawn_histogram(world, config);
+  EXPECT_TRUE(world.run().completed);
+  EXPECT_GE(world.races().count(), 1u);
+  const auto total = histogram_total(world, handles);
+  EXPECT_LE(total, 4u * 25u);  // lost updates possible, phantom ones not.
+  EXPECT_GT(total, 0u);
+}
+
+// --- pipeline -------------------------------------------------------------------
+
+TEST(Pipeline, BackpressureOrdersEverythingWithoutBarriersOrLocks) {
+  PipelineConfig config;
+  config.tokens = 6;
+  World world(config_for(4));
+  const auto handles = spawn_pipeline(world, config);
+  EXPECT_TRUE(world.run().completed);
+  // Happens-before flows entirely through signals and data: race-free.
+  EXPECT_EQ(world.races().count(), 0u);
+
+  std::uint64_t sink = 0;
+  const auto bytes = world.segment(handles.sink.rank).read_bytes(handles.sink.offset, 8);
+  std::memcpy(&sink, bytes.data(), 8);
+  EXPECT_EQ(sink, pipeline_expected(4, config));
+}
+
+TEST(Pipeline, WithoutBackpressureTheOverwriteRaces) {
+  PipelineConfig config;
+  config.tokens = 6;
+  config.backpressure = false;
+  World world(config_for(4));
+  spawn_pipeline(world, config);
+  EXPECT_TRUE(world.run().completed);
+  EXPECT_GE(world.races().count(), 1u);
+}
+
+TEST(Pipeline, TwoRankRing) {
+  PipelineConfig config;
+  config.tokens = 3;
+  World world(config_for(2));
+  const auto handles = spawn_pipeline(world, config);
+  EXPECT_TRUE(world.run().completed);
+  std::uint64_t sink = 0;
+  const auto bytes = world.segment(handles.sink.rank).read_bytes(handles.sink.offset, 8);
+  std::memcpy(&sink, bytes.data(), 8);
+  EXPECT_EQ(sink, pipeline_expected(2, config));
+}
+
+// --- random ----------------------------------------------------------------------
+
+TEST(Random, BarriersReduceRaces) {
+  // Barriers order everything *across* rounds; only same-round collisions
+  // survive, so the race count must drop sharply versus the free-for-all.
+  auto races_with = [](int barrier_every) {
+    RandomConfig config;
+    config.areas = 2;
+    config.ops_per_proc = 30;
+    config.write_fraction = 0.8;
+    config.barrier_every = barrier_every;
+    World world(config_for(4));
+    spawn_random(world, config);
+    EXPECT_TRUE(world.run().completed);
+    return world.races().count();
+  };
+  const auto without = races_with(0);
+  const auto with = races_with(1);
+  EXPECT_GT(without, 0u);
+  EXPECT_LT(with, without);
+}
+
+TEST(Random, UnsynchronizedWritesRace) {
+  RandomConfig config;
+  config.areas = 2;
+  config.ops_per_proc = 30;
+  config.write_fraction = 0.8;
+  World world(config_for(4));
+  spawn_random(world, config);
+  EXPECT_TRUE(world.run().completed);
+  EXPECT_GE(world.races().count(), 1u);
+}
+
+TEST(Random, FullyLockedRunsClean) {
+  RandomConfig config;
+  config.areas = 4;
+  config.ops_per_proc = 20;
+  config.write_fraction = 0.5;
+  config.lock_fraction = 1.0;
+  World world(config_for(3));
+  spawn_random(world, config);
+  EXPECT_TRUE(world.run().completed);
+  EXPECT_EQ(world.races().count(), 0u);
+}
+
+TEST(Random, ReadOnlyWorkloadNeverRacesUnderDualClock) {
+  RandomConfig config;
+  config.areas = 3;
+  config.ops_per_proc = 40;
+  config.write_fraction = 0.0;
+  World world(config_for(4));
+  spawn_random(world, config);
+  EXPECT_TRUE(world.run().completed);
+  EXPECT_EQ(world.races().count(), 0u);
+}
+
+TEST(Random, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [] {
+    RandomConfig config;
+    config.areas = 4;
+    config.ops_per_proc = 25;
+    config.write_fraction = 0.5;
+    config.seed = 99;
+    World world(config_for(4, 1234));
+    spawn_random(world, config);
+    world.run();
+    return world.races().count();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace dsmr::workload
