@@ -62,15 +62,23 @@ void print_summary() {
         detected[k] += result.points[k].detected;
       }
     }
-    util::Table table({"clock width k", "races detected", "missed", "detection rate"});
+    util::Table table({"clock width k", "races detected", "missed", "detection rate",
+                       "wire B/clock"});
     for (std::size_t k = 0; k < detected.size(); ++k) {
+      // The wire cost a width-k clock would pay under the compact encoding
+      // (zero-history lower bound: one varint per component).
+      const auto wire_bytes = clocks::VectorClock(k + 1).wire_size();
       table.add_row({util::Table::fmt_int(k + 1), util::Table::fmt_int(detected[k]),
                      util::Table::fmt_int(truth_total - detected[k]),
                      util::Table::fmt(truth_total == 0
                                           ? 1.0
                                           : static_cast<double>(detected[k]) /
                                                 static_cast<double>(truth_total),
-                                      3)});
+                                      3),
+                     util::Table::fmt_int(wire_bytes)});
+      json_add("truncation_sweep",
+               {{"n", std::to_string(nprocs)}, {"k", std::to_string(k + 1)}},
+               static_cast<double>(detected[k]), static_cast<double>(wire_bytes));
     }
     print_table("=== CLAIM-IV.C: races visible with width-k clocks (n=" +
                     std::to_string(nprocs) + ", 5 seeds) ===",
@@ -82,9 +90,11 @@ void print_summary() {
 }  // namespace dsmr::bench
 
 int main(int argc, char** argv) {
+  dsmr::bench::init_json(&argc, argv, "clock_size");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   dsmr::bench::print_summary();
+  dsmr::bench::write_json();
   return 0;
 }

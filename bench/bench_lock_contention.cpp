@@ -149,9 +149,11 @@ void print_summary() {
 }  // namespace dsmr::bench
 
 int main(int argc, char** argv) {
+  dsmr::bench::init_json(&argc, argv, "lock_contention");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   dsmr::bench::print_summary();
+  dsmr::bench::write_json();
   return 0;
 }

@@ -82,6 +82,24 @@ BENCHMARK(BM_PutProtocol)
     ->ArgsProduct({{0, 1, 2}, {0, 1, 2}})
     ->ArgNames({"mode", "transport"});
 
+/// The detection kernel itself (no simulator around it): one check_access
+/// per iteration on a fully-ordered same-rank workload. arg1 selects the
+/// production epoch fast path (0) or the full-vector-clock oracle (1).
+void BM_CheckAccessOrdered(benchmark::State& state) {
+  OrderedCheckFixture fixture(static_cast<std::size_t>(state.range(0)));
+  const bool oracle = state.range(1) != 0;
+  std::uint64_t races = 0;
+  for (auto _ : state) {
+    auto verdict = fixture.check(oracle);
+    benchmark::DoNotOptimize(verdict);
+    races += verdict.race ? 1 : 0;
+  }
+  DSMR_CHECK(races == 0);
+}
+BENCHMARK(BM_CheckAccessOrdered)
+    ->ArgsProduct({{4, 16, 64, 256}, {0, 1}})
+    ->ArgNames({"n", "oracle"});
+
 void print_summary() {
   {
     util::Table table({"detector", "transport", "put ns", "x base", "msgs/put",
@@ -107,6 +125,16 @@ void print_summary() {
                      util::Table::fmt(costs.get_virtual_ns / base.get_virtual_ns, 2),
                      util::Table::fmt(costs.get_messages, 1),
                      util::Table::fmt(costs.put_bytes - base.put_bytes, 0)});
+      json_add("put_protocol_virtual",
+               {{"n", "4"},
+                {"mode", mode_name(config.mode)},
+                {"transport", transport_name(config.transport)}},
+               costs.put_virtual_ns, costs.put_bytes);
+      json_add("get_protocol_virtual",
+               {{"n", "4"},
+                {"mode", mode_name(config.mode)},
+                {"transport", transport_name(config.transport)}},
+               costs.get_virtual_ns, costs.get_bytes);
     }
     print_table(
         "=== CLAIM-V.A2: communication overhead of detection (n=4, virtual time) ===",
@@ -127,21 +155,27 @@ void print_summary() {
                      util::Table::fmt(dual.put_virtual_ns / off.put_virtual_ns, 3),
                      util::Table::fmt(dual.put_bytes - off.put_bytes, 0),
                      util::Table::fmt(dual.put_messages, 1)});
+      json_add("put_overhead_vs_nprocs",
+               {{"n", std::to_string(n)}, {"mode", "dual-clock"}, {"transport", "home-side"}},
+               dual.put_virtual_ns, dual.put_bytes - off.put_bytes);
     }
     print_table(
         "=== CLAIM-V.A2: overhead vs process count (home-side transport) ===\n"
         "(\"debugging happens at ~10 processes\": the overhead stays modest there)",
         table);
   }
+  print_detector_cost_summary();
 }
 
 }  // namespace
 }  // namespace dsmr::bench
 
 int main(int argc, char** argv) {
+  dsmr::bench::init_json(&argc, argv, "overhead");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   dsmr::bench::print_summary();
+  dsmr::bench::write_json();
   return 0;
 }

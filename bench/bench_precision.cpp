@@ -154,9 +154,11 @@ void print_summary() {
 }  // namespace dsmr::bench
 
 int main(int argc, char** argv) {
+  dsmr::bench::init_json(&argc, argv, "precision");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   dsmr::bench::print_summary();
+  dsmr::bench::write_json();
   return 0;
 }

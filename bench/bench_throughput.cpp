@@ -48,7 +48,57 @@ BENCHMARK(BM_SimulatedWorkload)
     ->ArgNames({"n", "mode"})
     ->Unit(benchmark::kMillisecond);
 
+/// Wall-clock throughput of a fully-ordered same-rank workload (one writer
+/// hammering its own remote slot through acked puts): every detection check
+/// is epoch-decidable, so the detector-on run should track the baseline.
+void print_summary() {
+  util::Table table({"n procs", "ops/s (off)", "ops/s (dual)", "dual/off"});
+  for (const int n : {4, 10, 32}) {
+    const auto run_ordered = [n](core::DetectorMode mode) {
+      auto config = world_config(n, mode, core::Transport::kHomeSide, 11);
+      World world(config);
+      const mem::GlobalAddress x = world.alloc(n - 1, 8, "slot");
+      constexpr int kOps = 2000;
+      world.spawn(0, [x](runtime::Process& p) -> sim::Task {
+        for (int i = 0; i < kOps; ++i) co_await p.put_value(x, std::uint64_t{1});
+      });
+      const auto start = std::chrono::steady_clock::now();
+      DSMR_CHECK(world.run().completed);
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      const double seconds =
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) *
+          1e-9;
+      return static_cast<double>(kOps) / seconds;
+    };
+    (void)run_ordered(core::DetectorMode::kOff);  // warmup (cold caches).
+    const double off = run_ordered(core::DetectorMode::kOff);
+    const double dual = run_ordered(core::DetectorMode::kDualClock);
+    table.add_row({util::Table::fmt_int(static_cast<std::uint64_t>(n)),
+                   util::Table::fmt(off, 0), util::Table::fmt(dual, 0),
+                   util::Table::fmt(dual / off, 3)});
+    json_add("ordered_put_throughput",
+             {{"n", std::to_string(n)}, {"mode", "off"}, {"transport", "home-side"}},
+             1e9 / off);
+    json_add("ordered_put_throughput",
+             {{"n", std::to_string(n)}, {"mode", "dual-clock"}, {"transport", "home-side"}},
+             1e9 / dual);
+  }
+  print_table(
+      "=== SCALE: ordered same-rank workload, wall-clock ops/s (simulator incl.) ===",
+      table);
+  print_detector_cost_summary();
+}
+
 }  // namespace
 }  // namespace dsmr::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  dsmr::bench::init_json(&argc, argv, "throughput");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dsmr::bench::print_summary();
+  dsmr::bench::write_json();
+  return 0;
+}

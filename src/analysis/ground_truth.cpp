@@ -94,11 +94,11 @@ std::vector<TruncationPoint> truncation_sweep(const core::EventLog& log,
   return sweep;
 }
 
-ReplayResult replay_online(const core::EventLog& log, core::DetectorMode mode) {
+ReplayResult replay_online(const core::EventLog& log, core::DetectorMode mode,
+                           bool with_oracle) {
   ReplayResult result;
   const auto groups = by_area_in_apply_order(log, nullptr);
   for (const auto& [key, events] : groups) {
-    (void)key;
     clocks::VectorClock v, w;
     if (!events.empty()) {
       v = clocks::VectorClock(events.front()->issue_clock.size());
@@ -107,9 +107,18 @@ ReplayResult replay_online(const core::EventLog& log, core::DetectorMode mode) {
     std::uint64_t last_access = 0, last_write = 0;
     Rank last_access_rank = kInvalidRank, last_write_rank = kInvalidRank;
     for (const auto* event : events) {
-      const auto verdict = core::check_access(
-          mode, event->kind, event->rank, event->issue_clock,
-          core::StoredClocks{v, w, last_access_rank, last_write_rank});
+      // The stored clocks are home-NIC apply clocks — event clocks of the
+      // area's home rank — so the replay rides the same epoch fast path as
+      // the live detector (unless the caller asked for the oracle).
+      const core::StoredClocks stored{v, w, last_access_rank, last_write_rank,
+                                      clocks::Epoch::of_event(key.first, v),
+                                      clocks::Epoch::of_event(key.first, w)};
+      const auto verdict =
+          with_oracle
+              ? core::check_access_oracle(mode, event->kind, event->rank,
+                                          event->issue_clock, stored)
+              : core::check_access(mode, event->kind, event->rank,
+                                   event->issue_clock, stored);
       if (verdict.race) {
         result.flagged_events.insert(event->id);
         const std::uint64_t prior = verdict.against == core::ComparedAgainst::kW

@@ -119,6 +119,10 @@ struct ReplayResult {
   std::set<RacePair> pairs;
   std::set<std::uint64_t> flagged_events;
 };
-ReplayResult replay_online(const core::EventLog& log, core::DetectorMode mode);
+/// `with_oracle` selects core::check_access_oracle (always-O(n) full clock
+/// comparison) instead of the production epoch-fast-path predicate; the two
+/// replays must be identical on every log — the property tests assert it.
+ReplayResult replay_online(const core::EventLog& log, core::DetectorMode mode,
+                           bool with_oracle = false);
 
 }  // namespace dsmr::analysis

@@ -1,0 +1,14 @@
+#include "clocks/epoch.hpp"
+
+#include <sstream>
+
+namespace dsmr::clocks {
+
+std::string Epoch::to_string() const {
+  if (!valid()) return "-";
+  std::ostringstream out;
+  out << "P" << rank << "@" << value;
+  return out.str();
+}
+
+}  // namespace dsmr::clocks

@@ -8,35 +8,23 @@
 
 namespace dsmr::clocks {
 
-ClockValue VectorClock::operator[](std::size_t i) const {
-  DSMR_CHECK_MSG(i < components_.size(), "clock component " << i << " out of range");
-  return components_[i];
-}
-
-ClockValue& VectorClock::operator[](std::size_t i) {
-  DSMR_CHECK_MSG(i < components_.size(), "clock component " << i << " out of range");
-  return components_[i];
-}
-
-void VectorClock::tick(Rank rank) {
-  DSMR_CHECK_MSG(rank >= 0 && static_cast<std::size_t>(rank) < components_.size(),
-                 "tick by rank " << rank << " on clock of size " << components_.size());
-  components_[static_cast<std::size_t>(rank)] += 1;
-}
-
 void VectorClock::merge_from(const VectorClock& other) {
   DSMR_CHECK_MSG(other.size() == size(),
                  "merging clocks of different sizes: " << size() << " vs " << other.size());
-  for (std::size_t i = 0; i < components_.size(); ++i) {
-    components_[i] = std::max(components_[i], other.components_[i]);
+  ClockValue* mine = data();
+  const ClockValue* theirs = other.data();
+  for (std::size_t i = 0; i < size_; ++i) {
+    mine[i] = std::max(mine[i], theirs[i]);
   }
 }
 
 bool VectorClock::dominated_by(const VectorClock& other) const {
   DSMR_CHECK_MSG(other.size() == size(),
                  "comparing clocks of different sizes: " << size() << " vs " << other.size());
-  for (std::size_t i = 0; i < components_.size(); ++i) {
-    if (components_[i] > other.components_[i]) return false;
+  const ClockValue* mine = data();
+  const ClockValue* theirs = other.data();
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (mine[i] > theirs[i]) return false;
   }
   return true;
 }
@@ -51,19 +39,61 @@ Ordering VectorClock::compare(const VectorClock& other) const {
 }
 
 bool VectorClock::is_zero() const {
-  return std::all_of(components_.begin(), components_.end(),
-                     [](ClockValue v) { return v == 0; });
+  const ClockValue* values = data();
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (values[i] != 0) return false;
+  }
+  return true;
 }
 
 bool VectorClock::lexicographic_less(const VectorClock& other) const {
-  return components_ < other.components_;
+  return std::lexicographical_compare(data(), data() + size_, other.data(),
+                                      other.data() + other.size_);
+}
+
+void VectorClock::encode_compact(std::vector<std::byte>& out) const {
+  const ClockValue* values = data();
+  for (std::size_t i = 0; i < size_; ++i) {
+    ClockValue v = values[i];
+    while (v >= 0x80) {
+      out.push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    out.push_back(static_cast<std::byte>(v));
+  }
+}
+
+VectorClock VectorClock::decode_compact(std::span<const std::byte> in, std::size_t n,
+                                        std::size_t* offset) {
+  std::size_t pos = offset ? *offset : 0;
+  VectorClock clock(n);
+  ClockValue* values = clock.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    ClockValue v = 0;
+    int shift = 0;
+    while (true) {
+      DSMR_REQUIRE(pos < in.size(), "compact clock decode ran past the buffer");
+      const auto byte = static_cast<ClockValue>(in[pos++]);
+      // A u64 takes at most 10 varint bytes and the 10th (shift 63) may only
+      // carry the top bit: anything else would silently drop high bits.
+      DSMR_REQUIRE(shift < 64 && (shift < 63 || (byte & 0x7f) <= 1),
+                   "compact clock component overflows 64 bits");
+      v |= (byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    values[i] = v;
+  }
+  if (offset) *offset = pos;
+  return clock;
 }
 
 void VectorClock::encode(std::vector<std::byte>& out) const {
   const std::size_t start = out.size();
-  out.resize(start + wire_size());
-  for (std::size_t i = 0; i < components_.size(); ++i) {
-    ClockValue v = components_[i];
+  out.resize(start + fixed_wire_size());
+  const ClockValue* values = data();
+  for (std::size_t i = 0; i < size_; ++i) {
+    ClockValue v = values[i];
     for (std::size_t b = 0; b < sizeof(ClockValue); ++b) {
       out[start + i * sizeof(ClockValue) + b] = static_cast<std::byte>(v & 0xff);
       v >>= 8;
@@ -77,12 +107,13 @@ VectorClock VectorClock::decode(std::span<const std::byte> in, std::size_t n,
   DSMR_REQUIRE(in.size() >= pos + n * sizeof(ClockValue),
                "decode buffer too small for clock of size " << n);
   VectorClock clock(n);
+  ClockValue* values = clock.data();
   for (std::size_t i = 0; i < n; ++i) {
     ClockValue v = 0;
     for (std::size_t b = sizeof(ClockValue); b-- > 0;) {
       v = (v << 8) | static_cast<ClockValue>(in[pos + i * sizeof(ClockValue) + b]);
     }
-    clock.components_[i] = v;
+    values[i] = v;
   }
   pos += n * sizeof(ClockValue);
   if (offset) *offset = pos;
@@ -90,16 +121,17 @@ VectorClock VectorClock::decode(std::span<const std::byte> in, std::size_t n,
 }
 
 std::string VectorClock::to_string() const {
-  const bool compact = std::all_of(components_.begin(), components_.end(),
-                                   [](ClockValue v) { return v < 10; });
+  const ClockValue* values = data();
+  const bool compact =
+      std::all_of(values, values + size_, [](ClockValue v) { return v < 10; });
   std::ostringstream out;
   if (compact) {
-    for (const auto v : components_) out << v;
+    for (std::size_t i = 0; i < size_; ++i) out << values[i];
   } else {
     out << "[";
-    for (std::size_t i = 0; i < components_.size(); ++i) {
+    for (std::size_t i = 0; i < size_; ++i) {
       if (i > 0) out << ",";
-      out << components_[i];
+      out << values[i];
     }
     out << "]";
   }
@@ -107,8 +139,10 @@ std::string VectorClock::to_string() const {
 }
 
 VectorClock VectorClock::truncated(std::size_t k) const {
-  VectorClock result(std::min(k, components_.size()));
-  for (std::size_t i = 0; i < result.size(); ++i) result.components_[i] = components_[i];
+  VectorClock result(std::min(k, size_));
+  const ClockValue* values = data();
+  ClockValue* out = result.data();
+  for (std::size_t i = 0; i < result.size(); ++i) out[i] = values[i];
   return result;
 }
 

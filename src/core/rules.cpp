@@ -2,9 +2,9 @@
 
 namespace dsmr::core {
 
-Verdict check_access(DetectorMode mode, AccessKind kind, Rank accessor,
-                     const clocks::VectorClock& accessor_clock,
-                     const StoredClocks& stored) {
+Verdict check_access_oracle(DetectorMode mode, AccessKind kind, Rank accessor,
+                            const clocks::VectorClock& accessor_clock,
+                            const StoredClocks& stored) {
   Verdict verdict;
   if (mode == DetectorMode::kOff) return verdict;
 

@@ -4,8 +4,20 @@
 // initiator side (kSeparate / kPiggyback transports) and from inside the
 // home NIC's atomic event (kHomeSide transport), so every transport applies
 // the same algorithm.
+//
+// Two implementations of the same predicate:
+//  * `check_access` — the production path. When the stored state carries an
+//    epoch witness (clocks/epoch.hpp) and the accessor clock is a genuine
+//    post-tick event clock, the full four-way clock comparison collapses to
+//    two integer compares (O(1) instead of O(n)); otherwise it falls back
+//    to the full comparison.
+//  * `check_access_oracle` — the original always-O(n) full-vector-clock
+//    path, kept as the property-test oracle: both functions must return
+//    bit-identical verdicts on every input the protocols can produce (and
+//    debug builds cross-check every fast-path verdict against it).
 #pragma once
 
+#include "clocks/epoch.hpp"
 #include "clocks/ordering.hpp"
 #include "clocks/vector_clock.hpp"
 #include "core/types.hpp"
@@ -20,15 +32,25 @@ struct Verdict {
   bool race = false;
   clocks::Ordering ordering = clocks::Ordering::kEqual;
   ComparedAgainst against = ComparedAgainst::kNone;
+
+  bool operator==(const Verdict&) const = default;
 };
 
 /// The stored state of one area as seen by the check: the two clocks plus
-/// the initiator ranks of the events that produced them.
+/// the initiator ranks of the events that produced them, plus (optionally)
+/// the epoch witnesses that enable the O(1) fast path. An invalid epoch
+/// simply means "unknown provenance — compare the full clocks".
 struct StoredClocks {
   const clocks::VectorClock& v;
   const clocks::VectorClock& w;
   Rank last_access_rank = kInvalidRank;
   Rank last_write_rank = kInvalidRank;
+  /// Valid iff `v` (resp. `w`) is known to be the clock of the
+  /// v_epoch.value-th event at process v_epoch.rank — true for every clock
+  /// a home NIC stores (its own post-event clock) and for every clock it
+  /// ships to initiators.
+  clocks::Epoch v_epoch{};
+  clocks::Epoch w_epoch{};
 };
 
 /// Applies Corollary 1 to one access:
@@ -49,8 +71,99 @@ struct StoredClocks {
 ///    access, program order plus the FIFO channel already order the two
 ///    operations even if the clocks cannot prove it (unacknowledged puts),
 ///    so the pair is exempted.
+///
+/// Precondition for the epoch fast path (what every call site guarantees):
+/// `accessor_clock` is the accessor's clock *after* ticking for this access,
+/// i.e. the clock of an event at `accessor`. Callers passing arbitrary
+/// clocks must leave the epochs invalid.
 Verdict check_access(DetectorMode mode, AccessKind kind, Rank accessor,
                      const clocks::VectorClock& accessor_clock,
                      const StoredClocks& stored);
+
+/// The original full-vector-clock implementation (ignores the epochs):
+/// the oracle the epoch path is property-tested against.
+Verdict check_access_oracle(DetectorMode mode, AccessKind kind, Rank accessor,
+                            const clocks::VectorClock& accessor_clock,
+                            const StoredClocks& stored);
+
+// ---------------------------------------------------------------------------
+// Implementation. The production predicate is header-inline: the fast path
+// is a handful of instructions and runs once per one-sided operation, so a
+// call into another TU would cost more than the check itself.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// True when the O(1) event-clock comparison may decide this pair: the
+/// stored clock carries a consistent epoch witness and the accessor clock is
+/// a genuine post-tick event clock of `accessor`.
+inline bool epoch_fast_applicable(const clocks::VectorClock& accessor_clock,
+                                  Rank accessor, const clocks::VectorClock& stored,
+                                  const clocks::Epoch& epoch) {
+  if (!epoch.valid() || accessor_clock.size() != stored.size()) return false;
+  const auto a = static_cast<std::size_t>(accessor);
+  const auto e = static_cast<std::size_t>(epoch.rank);
+  return accessor >= 0 && a < accessor_clock.size() && e < stored.size() &&
+         stored[e] == epoch.value &&  // witness consistent with the clock
+         accessor_clock[a] > 0;       // genuinely post-tick
+}
+
+/// Fidge/Mattern, applied in both directions: for an event e at process p
+/// and any event f, C(e) <= C(f) iff C(e)[p] <= C(f)[p]. `stored` is the
+/// clock of the epoch's event; `accessor_clock` is the clock of an event at
+/// `accessor`. The full four-way ordering from two integer compares.
+inline clocks::Ordering compare_event_clocks(const clocks::VectorClock& accessor_clock,
+                                             Rank accessor,
+                                             const clocks::VectorClock& stored,
+                                             const clocks::Epoch& epoch) {
+  const auto a = static_cast<std::size_t>(accessor);
+  const bool stored_le =
+      accessor_clock[static_cast<std::size_t>(epoch.rank)] >= epoch.value;
+  const bool accessor_le = stored[a] >= accessor_clock[a];
+  if (accessor_le && stored_le) return clocks::Ordering::kEqual;
+  if (accessor_le) return clocks::Ordering::kBefore;
+  if (stored_le) return clocks::Ordering::kAfter;
+  return clocks::Ordering::kConcurrent;
+}
+
+}  // namespace detail
+
+inline Verdict check_access(DetectorMode mode, AccessKind kind, Rank accessor,
+                            const clocks::VectorClock& accessor_clock,
+                            const StoredClocks& stored) {
+  Verdict verdict;
+  if (mode == DetectorMode::kOff) return verdict;
+
+  const clocks::VectorClock* reference = nullptr;
+  const clocks::Epoch* epoch = nullptr;
+  Rank prior_rank = kInvalidRank;
+  if (mode == DetectorMode::kSingleClock || kind == AccessKind::kWrite) {
+    reference = &stored.v;
+    epoch = &stored.v_epoch;
+    prior_rank = stored.last_access_rank;
+    verdict.against = ComparedAgainst::kV;
+  } else {
+    reference = &stored.w;
+    epoch = &stored.w_epoch;
+    prior_rank = stored.last_write_rank;
+    verdict.against = ComparedAgainst::kW;
+  }
+
+  verdict.ordering =
+      detail::epoch_fast_applicable(accessor_clock, accessor, *reference, *epoch)
+          ? detail::compare_event_clocks(accessor_clock, accessor, *reference, *epoch)
+          : accessor_clock.compare(*reference);
+  verdict.race = verdict.ordering == clocks::Ordering::kConcurrent;
+  // Same-initiator accesses are serialized by program order and the FIFO
+  // channel to the home NIC regardless of what the clocks can prove.
+  if (verdict.race && prior_rank == accessor) verdict.race = false;
+
+#ifndef NDEBUG
+  // Debug builds cross-check every verdict — including every live verdict of
+  // every protocol run — against the full-vector-clock oracle.
+  DSMR_ASSERT(verdict == check_access_oracle(mode, kind, accessor, accessor_clock, stored));
+#endif
+  return verdict;
+}
 
 }  // namespace dsmr::core

@@ -18,15 +18,17 @@ AreaId PublicSegment::register_area(std::uint32_t offset, std::uint32_t size,
                "area '" << name << "' [" << offset << "," << offset + size
                         << ") exceeds segment of " << bytes_.size() << " bytes");
   // Overlap check against neighbours in offset order.
-  auto next = by_offset_.lower_bound(offset);
+  const auto next = std::lower_bound(
+      by_offset_.begin(), by_offset_.end(), offset,
+      [](const IndexEntry& e, std::uint32_t o) { return e.offset < o; });
   if (next != by_offset_.end()) {
-    DSMR_REQUIRE(offset + size <= areas_[next->second].offset,
-                 "area '" << name << "' overlaps area '" << areas_[next->second].name << "'");
+    DSMR_REQUIRE(offset + size <= areas_[next->id].offset,
+                 "area '" << name << "' overlaps area '" << areas_[next->id].name << "'");
   }
   if (next != by_offset_.begin()) {
-    auto prev = std::prev(next);
-    DSMR_REQUIRE(areas_[prev->second].end() <= offset,
-                 "area '" << name << "' overlaps area '" << areas_[prev->second].name << "'");
+    const auto prev = std::prev(next);
+    DSMR_REQUIRE(areas_[prev->id].end() <= offset,
+                 "area '" << name << "' overlaps area '" << areas_[prev->id].name << "'");
   }
 
   const auto id = static_cast<AreaId>(areas_.size());
@@ -35,10 +37,10 @@ AreaId PublicSegment::register_area(std::uint32_t offset, std::uint32_t size,
   area.offset = offset;
   area.size = size;
   area.name = std::move(name);
-  area.v_clock = clocks::VectorClock(nprocs_);
-  area.w_clock = clocks::VectorClock(nprocs_);
+  area.v_state = clocks::AdaptiveClock(nprocs_, home_);
+  area.w_state = clocks::AdaptiveClock(nprocs_, home_);
   areas_.push_back(std::move(area));
-  by_offset_[offset] = id;
+  by_offset_.insert(next, IndexEntry{offset, id});
   bump_ = std::max(bump_, offset + size);
   return id;
 }
@@ -58,9 +60,11 @@ const Area& PublicSegment::area(AreaId id) const {
 }
 
 Area* PublicSegment::find_area(std::uint32_t offset, std::uint32_t len) {
-  auto it = by_offset_.upper_bound(offset);
+  const auto it = std::upper_bound(
+      by_offset_.begin(), by_offset_.end(), offset,
+      [](std::uint32_t o, const IndexEntry& e) { return o < e.offset; });
   if (it == by_offset_.begin()) return nullptr;
-  Area& candidate = areas_[std::prev(it)->second];
+  Area& candidate = areas_[std::prev(it)->id];
   if (offset >= candidate.offset && offset + len <= candidate.end()) return &candidate;
   return nullptr;
 }

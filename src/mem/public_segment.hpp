@@ -4,17 +4,26 @@
 // Shared data must be *registered* as an area before remote access — the
 // analogue of RDMA memory registration. Each registered area carries the
 // detection state the paper attaches to "each shared piece of data"
-// (§IV.B, §V.A): a general-purpose clock V (last access) and a write clock
-// W (last write), plus bookkeeping for the offline analysis.
+// (§IV.B, §V.A): a general-purpose state V (last access) and a write state
+// W (last write). Both are adaptive (clocks/epoch.hpp): while the stored
+// clock is the clock of one known home-NIC event — always, under the
+// paper's protocols — it stays epoch-summarized and race checks against it
+// are O(1).
+//
+// Area lookup is the single hottest metadata operation (every one-sided
+// access resolves its target area), so the offset index is a sorted vector
+// probed by binary search, and areas live in a deque so `Area*` stays
+// stable across registrations (which lets NICs keep resolver caches).
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "clocks/epoch.hpp"
 #include "clocks/vector_clock.hpp"
 #include "mem/global_address.hpp"
 #include "util/types.hpp"
@@ -30,9 +39,15 @@ struct Area {
   std::uint32_t size = 0;
   std::string name;          ///< diagnostic label used in race reports.
 
-  // Detection state (paper §IV.B). Sized n (number of processes).
-  clocks::VectorClock v_clock;  ///< last access to the area.
-  clocks::VectorClock w_clock;  ///< last write to the area.
+  // Detection state (paper §IV.B), adaptive representation. Sized n (number
+  // of processes); epoch-summarized while each stored clock is the clock of
+  // one known home event.
+  clocks::AdaptiveClock v_state;  ///< last access to the area.
+  clocks::AdaptiveClock w_state;  ///< last write to the area.
+
+  /// Full stored clocks (the values Algorithms 1-3 name V(x) and W(x)).
+  const clocks::VectorClock& v_clock() const { return v_state.full(); }
+  const clocks::VectorClock& w_clock() const { return w_state.full(); }
 
   // Identities of the events whose clocks are stored above; lets race
   // reports name *both* sides of a race and lets the offline analysis match
@@ -49,8 +64,12 @@ struct Area {
   std::uint32_t end() const { return offset + size; }
 
   /// Clock metadata footprint in bytes — the storage-overhead experiment
-  /// (CLAIM-V.A1) sums this across areas.
-  std::size_t clock_bytes() const { return v_clock.wire_size() + w_clock.wire_size(); }
+  /// (CLAIM-V.A1) sums this across areas. Charges the compact (varint)
+  /// encoding plus the epoch witnesses while summarized, matching what a
+  /// production NIC would persist.
+  std::size_t clock_bytes() const {
+    return v_state.storage_bytes() + w_state.storage_bytes();
+  }
 };
 
 class PublicSegment {
@@ -76,7 +95,9 @@ class PublicSegment {
   std::size_t area_count() const { return areas_.size(); }
 
   /// The area containing [offset, offset+len), or nullptr if the range is
-  /// unregistered or straddles an area boundary.
+  /// unregistered or straddles an area boundary. Pointers stay valid for
+  /// the segment's lifetime (areas are never deregistered), so callers may
+  /// cache the result for ranges inside the same area.
   Area* find_area(std::uint32_t offset, std::uint32_t len);
 
   /// Raw byte access (bounds-checked).
@@ -90,11 +111,16 @@ class PublicSegment {
   std::size_t total_clock_bytes() const;
 
  private:
+  struct IndexEntry {
+    std::uint32_t offset;
+    AreaId id;
+  };
+
   Rank home_;
   std::size_t nprocs_;
   std::vector<std::byte> bytes_;
-  std::vector<Area> areas_;
-  std::map<std::uint32_t, AreaId> by_offset_;  ///< area start offset -> id.
+  std::deque<Area> areas_;              ///< deque: stable Area* across growth.
+  std::vector<IndexEntry> by_offset_;   ///< sorted by offset; binary-searched.
   std::uint32_t bump_ = 0;
 };
 

@@ -87,7 +87,10 @@ struct Message {
 
   /// Bytes charged to the wire: fixed header + payload + (charged) clocks.
   /// This feeds both the bandwidth term of the latency model and the
-  /// traffic counters behind the §V.A overhead experiment.
+  /// traffic counters behind the §V.A overhead experiment. Clocks are
+  /// charged at their compact (LEB128) encoding — VectorClock::wire_size —
+  /// which is what the kPiggyback / kSeparate transports would actually
+  /// pack per message.
   std::size_t wire_size() const {
     return kHeaderBytes + data.size() + charged_clock_bytes();
   }

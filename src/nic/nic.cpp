@@ -13,6 +13,20 @@ using core::Transport;
 using net::Message;
 using net::MsgType;
 
+namespace {
+/// Detection state from clocks fetched off a home NIC: the carried V/W are
+/// the home's stored post-event clocks — event clocks of `home` — so their
+/// epoch witnesses derive from the home rank for free (no extra wire data).
+core::StoredClocks stored_from(const Message& m, Rank home) {
+  return core::StoredClocks{m.clock,
+                            m.clock2,
+                            m.prior_access_rank,
+                            m.prior_write_rank,
+                            clocks::Epoch::of_event(home, m.clock),
+                            clocks::Epoch::of_event(home, m.clock2)};
+}
+}  // namespace
+
 Nic::Nic(Rank rank, sim::Engine& engine, net::Fabric& fabric, mem::PublicSegment& segment,
          NodeClock& clock, NicConfig config, core::RaceLog& races, core::EventLog& events)
     : rank_(rank),
@@ -25,8 +39,18 @@ Nic::Nic(Rank rank, sim::Engine& engine, net::Fabric& fabric, mem::PublicSegment
       events_(events) {}
 
 const mem::Area* Nic::resolve(Rank rank, std::uint32_t offset, std::uint32_t len) const {
+  // Fast path: the queried range lies inside the last resolved area. Areas
+  // never overlap, never move and never shrink, so containment proves this
+  // is the area the full lookup would return.
+  if (const mem::Area* cached = resolver_cache_.area;
+      cached != nullptr && resolver_cache_.rank == rank && offset >= cached->offset &&
+      offset + len <= cached->end()) {
+    return cached;
+  }
   DSMR_CHECK_MSG(resolver_, "NIC has no area resolver installed");
-  return resolver_(rank, offset, len);
+  const mem::Area* area = resolver_(rank, offset, len);
+  if (area != nullptr) resolver_cache_ = ResolverCache{rank, area};
+  return area;
 }
 
 Message Nic::make(MsgType type, Rank dst, std::uint64_t op_id, std::uint32_t area) const {
@@ -97,10 +121,8 @@ sim::Future<PutResult> Nic::put(mem::GlobalAddress dst, std::vector<std::byte> d
     // W' = get_clock_W(P1, dst); V' = get_clock(P1, dst)
     const Message clocks = co_await request(make(MsgType::kClockFetch, dst.rank, op, area->id));
     // if ¬compare(V, V') ∧ ¬compare(V', V): signal_race_condition()
-    const auto verdict = core::check_access(
-        config_.mode, AccessKind::kWrite, rank_, ctx.issue_clock,
-        core::StoredClocks{clocks.clock, clocks.clock2, clocks.prior_access_rank,
-                           clocks.prior_write_rank});
+    const auto verdict = core::check_access(config_.mode, AccessKind::kWrite, rank_,
+                                            ctx.issue_clock, stored_from(clocks, dst.rank));
     if (verdict.race) {
       record_initiator_report(AccessKind::kWrite, dst.rank, *area, ctx, clocks, verdict);
       result.raced = true;
@@ -127,10 +149,8 @@ sim::Future<PutResult> Nic::put(mem::GlobalAddress dst, std::vector<std::byte> d
   if (transport == Transport::kPiggyback) {
     const Message grant =
         co_await request(make(MsgType::kLockFetchRequest, dst.rank, op, area->id));
-    const auto verdict = core::check_access(
-        config_.mode, AccessKind::kWrite, rank_, ctx.issue_clock,
-        core::StoredClocks{grant.clock, grant.clock2, grant.prior_access_rank,
-                           grant.prior_write_rank});
+    const auto verdict = core::check_access(config_.mode, AccessKind::kWrite, rank_,
+                                            ctx.issue_clock, stored_from(grant, dst.rank));
     if (verdict.race) {
       record_initiator_report(AccessKind::kWrite, dst.rank, *area, ctx, grant, verdict);
       result.raced = true;
@@ -179,10 +199,8 @@ sim::Future<GetResult> Nic::get(mem::GlobalAddress src, std::uint32_t len, OpCon
     const Message clocks = co_await request(make(MsgType::kClockFetch, src.rank, op, area->id));
     // Algorithm 2 compares the reader clock with the *write* clock W:
     // concurrent reads are not conflicts (Fig. 4).
-    const auto verdict = core::check_access(
-        config_.mode, AccessKind::kRead, rank_, ctx.issue_clock,
-        core::StoredClocks{clocks.clock, clocks.clock2, clocks.prior_access_rank,
-                           clocks.prior_write_rank});
+    const auto verdict = core::check_access(config_.mode, AccessKind::kRead, rank_,
+                                            ctx.issue_clock, stored_from(clocks, src.rank));
     if (verdict.race) {
       record_initiator_report(AccessKind::kRead, src.rank, *area, ctx, clocks, verdict);
       result.raced = true;
@@ -341,8 +359,8 @@ void Nic::handle_lock_request(const Message& m, bool with_clocks) {
     grant.tag = delegated ? 1 : 0;
     if (grant_type == MsgType::kLockFetchGrant) {
       const mem::Area& area = segment_.area(m.area);
-      grant.clock = area.v_clock;
-      grant.clock2 = area.w_clock;
+      grant.clock = area.v_clock();
+      grant.clock2 = area.w_clock();
       grant.event_id = area.last_access_event;
       grant.event_id2 = area.last_write_event;
       grant.prior_access_rank = area.last_access_rank;
@@ -378,8 +396,8 @@ void Nic::handle_clock_fetch(const Message& m) {
   const mem::Area& area = segment_.area(m.area);
   Message resp;
   resp.type = MsgType::kClockResponse;
-  resp.clock = area.v_clock;
-  resp.clock2 = area.w_clock;
+  resp.clock = area.v_clock();
+  resp.clock2 = area.w_clock();
   resp.event_id = area.last_access_event;
   resp.event_id2 = area.last_write_event;
   resp.prior_access_rank = area.last_access_rank;
@@ -393,11 +411,11 @@ void Nic::handle_clock_event(const Message& m) {
   // NIC (tick + merge, the values the paper's Fig. 5 annotates), and the
   // resulting clock is stored as the area's V (and W for writes).
   clock_.receive_event(m.src, m.clock);
-  area.v_clock = clock_.vector();
+  area.v_state.store_event(rank_, clock_.vector());
   area.last_access_event = m.event_id;
   area.last_access_rank = m.src;
   if (m.flag) {
-    area.w_clock = clock_.vector();
+    area.w_state.store_event(rank_, clock_.vector());
     area.last_write_event = m.event_id;
     area.last_write_rank = m.src;
   }
@@ -463,8 +481,9 @@ void Nic::apply_put(const Message& m) {
   if (m.flag && config_.mode != DetectorMode::kOff) {
     const auto verdict = core::check_access(
         config_.mode, AccessKind::kWrite, m.src, m.clock,
-        core::StoredClocks{area.v_clock, area.w_clock, area.last_access_rank,
-                           area.last_write_rank});
+        core::StoredClocks{area.v_clock(), area.w_clock(), area.last_access_rank,
+                           area.last_write_rank, area.v_state.epoch(),
+                           area.w_state.epoch()});
     if (verdict.race) {
       record_home_report(AccessKind::kWrite, m, area, verdict);
       raced = true;
@@ -472,8 +491,8 @@ void Nic::apply_put(const Message& m) {
   }
   clock_.receive_event(m.src, m.clock);
   segment_.write_bytes(area.offset + m.offset, m.data);
-  area.v_clock = clock_.vector();
-  area.w_clock = clock_.vector();
+  area.v_state.store_event(rank_, clock_.vector());
+  area.w_state.store_event(rank_, clock_.vector());
   area.last_access_event = m.event_id;
   area.last_write_event = m.event_id;
   area.last_access_rank = m.src;
@@ -493,15 +512,16 @@ sim::Time Nic::serve_get(const Message& m) {
   if (m.flag && config_.mode != DetectorMode::kOff) {
     const auto verdict = core::check_access(
         config_.mode, AccessKind::kRead, m.src, m.clock,
-        core::StoredClocks{area.v_clock, area.w_clock, area.last_access_rank,
-                           area.last_write_rank});
+        core::StoredClocks{area.v_clock(), area.w_clock(), area.last_access_rank,
+                           area.last_write_rank, area.v_state.epoch(),
+                           area.w_state.epoch()});
     if (verdict.race) {
       record_home_report(AccessKind::kRead, m, area, verdict);
       raced = true;
     }
   }
   clock_.receive_event(m.src, m.clock);
-  area.v_clock = clock_.vector();
+  area.v_state.store_event(rank_, clock_.vector());
   area.last_access_event = m.event_id;
   area.last_access_rank = m.src;
   events_.annotate_apply(m.event_id, clock_.vector());
@@ -536,7 +556,7 @@ void Nic::record_home_report(AccessKind kind, const Message& m, const mem::Area&
   report.accessor_clock = m.clock;
   report.against = verdict.against;
   report.stored_clock =
-      verdict.against == core::ComparedAgainst::kW ? area.w_clock : area.v_clock;
+      verdict.against == core::ComparedAgainst::kW ? area.w_clock() : area.v_clock();
   report.prior_event_id = verdict.against == core::ComparedAgainst::kW
                               ? area.last_write_event
                               : area.last_access_event;

@@ -130,6 +130,10 @@ class Nic {
   void on_message(const net::Message& m);
 
   /// The area resolver (exposed for the runtime layer's event logging).
+  /// Caches the last hit: consecutive operations overwhelmingly resolve into
+  /// the same area, and area ranges are immutable with stable addresses
+  /// (PublicSegment), so a cached area containing the queried range is
+  /// always the correct answer — no invalidation needed.
   const mem::Area* resolve(Rank rank, std::uint32_t offset, std::uint32_t len) const;
 
  private:
@@ -177,6 +181,13 @@ class Nic {
   core::EventLog& events_;
   AreaResolver resolver_;
   LockManager locks_;
+
+  /// One-entry resolver cache: the last successfully resolved (rank, area).
+  struct ResolverCache {
+    Rank rank = kInvalidRank;
+    const mem::Area* area = nullptr;
+  };
+  mutable ResolverCache resolver_cache_;
 
   std::uint64_t next_op_ = 1;
   std::unordered_map<std::uint64_t, sim::Promise<net::Message>> pending_;

@@ -20,6 +20,18 @@ struct CurrentEngineScope {
 };
 }  // namespace
 
+Engine::~Engine() {
+  // Destroy frames of operations that never completed (deadlocks, drained
+  // simulations). Each destruction untracks itself via ~promise_type;
+  // clearing the registry first turns those into no-ops so the iteration
+  // stays valid.
+  const auto orphans = std::move(live_frames_);
+  live_frames_.clear();
+  for (void* address : orphans) {
+    std::coroutine_handle<>::from_address(address).destroy();
+  }
+}
+
 void Engine::schedule_at(Time t, std::function<void()> fn) {
   DSMR_CHECK_MSG(t >= now_, "scheduling into the past: t=" << t << " now=" << now_);
   queue_.push(Event{t, next_seq_++, std::move(fn)});

@@ -7,9 +7,11 @@
 // interleaving from its seed.
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -19,6 +21,7 @@ namespace dsmr::sim {
 class Engine {
  public:
   Engine() = default;
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -49,6 +52,13 @@ class Engine {
   /// without threading an engine pointer through every awaitable.
   static Engine* current();
 
+  /// Live-frame registry for eager Future<T> coroutines: frames register at
+  /// creation and deregister on (self-)destruction, so frames still
+  /// suspended when the engine is torn down — protocol steps of deadlocked
+  /// operations — are destroyed instead of leaked.
+  void track_frame(std::coroutine_handle<> h) { live_frames_.insert(h.address()); }
+  void untrack_frame(std::coroutine_handle<> h) { live_frames_.erase(h.address()); }
+
  private:
   struct Event {
     Time t;
@@ -62,6 +72,7 @@ class Engine {
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<void*> live_frames_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;

@@ -26,7 +26,11 @@ namespace dsmr::sim {
 namespace detail {
 
 /// Resumes `h` through the current engine when available; inline otherwise
-/// (e.g. when a Promise is resolved after the simulation drained).
+/// (e.g. when a Promise is resolved after the simulation drained). Waiter
+/// frames live until they complete or their engine is torn down (the Engine
+/// destroys still-suspended frames); resolving a Promise after the owning
+/// Engine/World has been destroyed is not supported — the waiter handles
+/// would dangle.
 inline void bounce_resume(std::coroutine_handle<> h) {
   if (Engine* engine = Engine::current()) {
     engine->schedule_now([h] { h.resume(); });
@@ -50,6 +54,29 @@ struct SharedState {
     for (auto h : waiting) bounce_resume(h);
     auto cbs = std::exchange(callbacks, {});
     for (auto& cb : cbs) cb(*value);
+  }
+};
+
+/// Shared frame-tracking for eager Future coroutine promises: register with
+/// the current engine at creation (`track`), deregister on destruction —
+/// which is either self-destruction at co_return or the engine's teardown
+/// sweep of deadlocked frames.
+template <typename Promise>
+struct TrackedPromise {
+  Engine* tracked_engine = nullptr;
+
+  ~TrackedPromise() {
+    if (tracked_engine) {
+      tracked_engine->untrack_frame(
+          std::coroutine_handle<Promise>::from_promise(static_cast<Promise&>(*this)));
+    }
+  }
+
+  void track() {
+    if ((tracked_engine = Engine::current()) != nullptr) {
+      tracked_engine->track_frame(
+          std::coroutine_handle<Promise>::from_promise(static_cast<Promise&>(*this)));
+    }
   }
 };
 
@@ -113,12 +140,18 @@ template <typename T>
 class Future {
  public:
   /// Coroutine machinery: `Future<T> f() { co_return x; }` starts eagerly
-  /// and resolves when the coroutine returns.
-  struct promise_type {
+  /// and resolves when the coroutine returns. Frames register with the
+  /// current engine (detail::TrackedPromise) so deadlocked (never-
+  /// completing) operations are destroyed at engine teardown instead of
+  /// leaking.
+  struct promise_type : detail::TrackedPromise<promise_type> {
     std::shared_ptr<detail::SharedState<T>> state =
         std::make_shared<detail::SharedState<T>>();
 
-    Future get_return_object() { return Future(state); }
+    Future get_return_object() {
+      this->track();
+      return Future(state);
+    }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }
     void return_value(T v) { state->set(std::move(v)); }
@@ -159,11 +192,14 @@ class Future {
 template <>
 class Future<void> {
  public:
-  struct promise_type {
+  struct promise_type : detail::TrackedPromise<promise_type> {
     std::shared_ptr<detail::SharedState<void>> state =
         std::make_shared<detail::SharedState<void>>();
 
-    Future get_return_object() { return Future(state); }
+    Future get_return_object() {
+      this->track();
+      return Future(state);
+    }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }
     void return_void() { state->set(); }

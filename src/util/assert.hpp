@@ -23,6 +23,16 @@ namespace dsmr::util {
 
 }  // namespace dsmr::util
 
+// Lightweight always-on assert for hot paths (e.g. clock component access):
+// no message streaming, so the expansion stays small enough to inline. Use
+// DSMR_CHECK_MSG / DSMR_REQUIRE where a diagnostic is worth the code size.
+#define DSMR_ASSERT(cond)                                                     \
+  do {                                                                        \
+    if (!(cond)) [[unlikely]] {                                               \
+      ::dsmr::util::panic(__FILE__, __LINE__, "assert failed: " #cond);       \
+    }                                                                         \
+  } while (0)
+
 #define DSMR_CHECK(cond)                                                      \
   do {                                                                        \
     if (!(cond)) {                                                            \

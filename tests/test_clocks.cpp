@@ -2,8 +2,10 @@
 // heart of the paper's detection scheme (Lemma 1 / Corollary 1).
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
+#include "clocks/epoch.hpp"
 #include "clocks/lamport.hpp"
 #include "clocks/matrix_clock.hpp"
 #include "clocks/ordering.hpp"
@@ -94,7 +96,7 @@ TEST(VectorClock, EncodeDecodeRoundTrip) {
   const VectorClock original{7, 0, 1234567890123ULL, 42};
   std::vector<std::byte> wire;
   original.encode(wire);
-  EXPECT_EQ(wire.size(), original.wire_size());
+  EXPECT_EQ(wire.size(), original.fixed_wire_size());
   std::size_t offset = 0;
   const VectorClock decoded = VectorClock::decode(wire, 4, &offset);
   EXPECT_EQ(decoded, original);
@@ -137,10 +139,132 @@ TEST(VectorClock, TruncationCanHideConcurrency) {
 }
 
 TEST(VectorClock, WireSizeIsLinearInProcessCount) {
-  // §IV.C / §V.A: the clock must have one entry per process.
+  // §IV.C / §V.A: the clock must have one entry per process. The compact
+  // encoding still pays per entry (one varint each), the fixed layout a
+  // full word each.
   for (std::size_t n : {1u, 4u, 10u, 32u}) {
-    EXPECT_EQ(VectorClock(n).wire_size(), n * sizeof(ClockValue));
+    EXPECT_EQ(VectorClock(n).fixed_wire_size(), n * sizeof(ClockValue));
+    EXPECT_EQ(VectorClock(n).wire_size(), n);  // zero components: 1 byte each.
   }
+}
+
+TEST(VectorClock, VarintSizeBoundaries) {
+  EXPECT_EQ(VectorClock::varint_size(0), 1u);
+  EXPECT_EQ(VectorClock::varint_size(127), 1u);
+  EXPECT_EQ(VectorClock::varint_size(128), 2u);
+  EXPECT_EQ(VectorClock::varint_size(16383), 2u);
+  EXPECT_EQ(VectorClock::varint_size(16384), 3u);
+  EXPECT_EQ(VectorClock::varint_size(~ClockValue{0}), 10u);
+}
+
+TEST(VectorClock, CompactEncodeDecodeRoundTrip) {
+  const VectorClock original{7, 0, 1234567890123ULL, 42, 127, 128, ~ClockValue{0}};
+  std::vector<std::byte> wire;
+  original.encode_compact(wire);
+  EXPECT_EQ(wire.size(), original.wire_size());
+  std::size_t offset = 0;
+  const VectorClock decoded = VectorClock::decode_compact(wire, original.size(), &offset);
+  EXPECT_EQ(decoded, original);
+  EXPECT_EQ(offset, wire.size());
+}
+
+TEST(VectorClock, CompactEncodeAppendsTwoClocks) {
+  const VectorClock a{1, 200};
+  const VectorClock b{300, 4};
+  std::vector<std::byte> wire;
+  a.encode_compact(wire);
+  b.encode_compact(wire);
+  EXPECT_EQ(wire.size(), a.wire_size() + b.wire_size());
+  std::size_t offset = 0;
+  EXPECT_EQ(VectorClock::decode_compact(wire, 2, &offset), a);
+  EXPECT_EQ(VectorClock::decode_compact(wire, 2, &offset), b);
+}
+
+TEST(VectorClock, CompactBeatsFixedAtDebuggingScale) {
+  // The point of the varint format: clocks at the paper's ~10-process
+  // debugging scale carry small counters, so the wire cost collapses.
+  VectorClock clock(10);
+  for (std::size_t i = 0; i < clock.size(); ++i) clock[i] = i * 7;  // < 128
+  EXPECT_EQ(clock.wire_size(), 10u);
+  EXPECT_EQ(clock.fixed_wire_size(), 80u);
+}
+
+TEST(VectorClock, InlineAndHeapRepresentationsAgree) {
+  // n <= kInlineCapacity lives inline; wider clocks spill. Semantics must
+  // not depend on the representation.
+  const VectorClock small{1, 2, 3, 4};
+  const VectorClock big{1, 2, 3, 4, 5, 6};
+  ASSERT_LE(small.size(), VectorClock::kInlineCapacity);
+  ASSERT_GT(big.size(), VectorClock::kInlineCapacity);
+
+  VectorClock small_copy = small;
+  EXPECT_EQ(small_copy, small);
+  VectorClock big_copy = big;
+  EXPECT_EQ(big_copy, big);
+
+  VectorClock small_moved = std::move(small_copy);
+  EXPECT_EQ(small_moved, small);
+  VectorClock big_moved = std::move(big_copy);
+  EXPECT_EQ(big_moved, big);
+
+  big_moved.tick(5);
+  EXPECT_EQ(big_moved[5], 7u);
+  small_moved.tick(0);
+  EXPECT_EQ(small_moved[0], 2u);
+
+  // Mixed-width equality is simply false, not UB.
+  EXPECT_FALSE(small == big);
+}
+
+TEST(Epoch, OfEventReadsTheOwnersComponent) {
+  const VectorClock clock{3, 7, 2};
+  const Epoch e = Epoch::of_event(1, clock);
+  EXPECT_TRUE(e.valid());
+  EXPECT_EQ(e.rank, 1);
+  EXPECT_EQ(e.value, 7u);
+  EXPECT_FALSE(Epoch::of_event(5, clock).valid());   // out of range.
+  EXPECT_FALSE(Epoch::of_event(-1, clock).valid());
+  EXPECT_EQ(e.to_string(), "P1@7");
+  EXPECT_EQ(Epoch{}.to_string(), "-");
+}
+
+TEST(AdaptiveClock, FreshStateIsSummarizedAtTheZeroEpoch) {
+  const AdaptiveClock state(4, 2);
+  EXPECT_TRUE(state.summarized());
+  EXPECT_EQ(state.epoch(), (Epoch{2, 0}));
+  EXPECT_TRUE(state.full().is_zero());
+  EXPECT_EQ(state.full().size(), 4u);
+}
+
+TEST(AdaptiveClock, StoreEventKeepsTheSummary) {
+  AdaptiveClock state(3, 0);
+  const VectorClock event{4, 1, 0};
+  state.store_event(0, event);
+  EXPECT_TRUE(state.summarized());
+  EXPECT_EQ(state.epoch(), (Epoch{0, 4}));
+  EXPECT_EQ(state.full(), event);
+}
+
+TEST(AdaptiveClock, ConcurrentMergeInflatesToAFullClock) {
+  // The inflate rule: a componentwise max of two concurrent events' clocks
+  // is no event's clock, so the epoch summary must be dropped.
+  AdaptiveClock state(3, 0);
+  state.store_event(0, VectorClock{4, 1, 0});
+  state.merge_concurrent(VectorClock{0, 0, 3});
+  EXPECT_FALSE(state.summarized());
+  EXPECT_FALSE(state.epoch().valid());
+  EXPECT_EQ(state.full(), (VectorClock{4, 1, 3}));
+  // A later single-event store re-summarizes.
+  state.store_event(1, VectorClock{4, 2, 3});
+  EXPECT_TRUE(state.summarized());
+  EXPECT_EQ(state.epoch(), (Epoch{1, 2}));
+}
+
+TEST(AdaptiveClock, StorageBytesChargeCompactClockPlusEpoch) {
+  AdaptiveClock state(4, 1);
+  EXPECT_EQ(state.storage_bytes(), 4u + (Epoch{1, 0}).wire_size());
+  state.merge_concurrent(VectorClock{1, 0, 0, 0});
+  EXPECT_EQ(state.storage_bytes(), state.full().wire_size());  // no epoch.
 }
 
 // --- property sweep: partial-order laws on random clock populations -------

@@ -80,17 +80,26 @@ TEST(PublicSegment, ReadWriteRoundTrip) {
 TEST(PublicSegment, AreasCarryClocksSizedToProcessCount) {
   PublicSegment seg(1, 256, 8);
   const AreaId a = seg.allocate_area(16, "x");
-  EXPECT_EQ(seg.area(a).v_clock.size(), 8u);
-  EXPECT_EQ(seg.area(a).w_clock.size(), 8u);
-  EXPECT_TRUE(seg.area(a).v_clock.is_zero());
+  EXPECT_EQ(seg.area(a).v_clock().size(), 8u);
+  EXPECT_EQ(seg.area(a).w_clock().size(), 8u);
+  EXPECT_TRUE(seg.area(a).v_clock().is_zero());
+  // Fresh areas are epoch-summarized: both states witness the home's
+  // fictitious 0th event.
+  EXPECT_TRUE(seg.area(a).v_state.summarized());
+  EXPECT_EQ(seg.area(a).v_state.epoch(), (clocks::Epoch{1, 0}));
 }
 
 TEST(PublicSegment, ClockBytesAccounting) {
-  // §V.A: storage overhead = 2 clocks × n entries × 8 bytes per area.
+  // §V.A: storage overhead = 2 clock states per area, charged at the
+  // compact encoding (n varints) plus the epoch witness while summarized —
+  // strictly below the fixed 2 × n × 8 bytes the paper counts.
   PublicSegment seg(0, 1024, 10);
   seg.allocate_area(8, "a");
   seg.allocate_area(8, "b");
-  EXPECT_EQ(seg.total_clock_bytes(), 2u * 2u * 10u * sizeof(ClockValue));
+  const std::size_t per_state = seg.area(0).v_state.storage_bytes();
+  EXPECT_EQ(per_state, 10u + (clocks::Epoch{0, 0}).wire_size());
+  EXPECT_EQ(seg.total_clock_bytes(), 2u * 2u * per_state);
+  EXPECT_LT(seg.total_clock_bytes(), 2u * 2u * 10u * sizeof(ClockValue));
 }
 
 TEST(GlobalAddress, PlusAndToString) {

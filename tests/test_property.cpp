@@ -178,6 +178,30 @@ TEST_P(PropertySweep, P7_OfflineReplayMatchesLiveReports) {
   EXPECT_EQ(replayed.pairs, live_pairs(world.races()));
 }
 
+TEST_P(PropertySweep, P8_EpochFastPathIsBitIdenticalToTheFullClockOracle) {
+  // The sweep already spans all three transports and live executions use
+  // the epoch fast path everywhere (home-side and initiator-side checks).
+  // Replaying each execution's log through the production predicate and the
+  // always-O(n) full-vector-clock oracle must produce identical detection:
+  // same flagged events, same pairs, under both detector modes.
+  World world(world_config());
+  workload::spawn_random(world, contended_workload());
+  ASSERT_TRUE(world.run().completed);
+  for (const auto mode : {DetectorMode::kDualClock, DetectorMode::kSingleClock}) {
+    const auto fast = analysis::replay_online(world.events(), mode);
+    const auto oracle =
+        analysis::replay_online(world.events(), mode, /*with_oracle=*/true);
+    EXPECT_EQ(fast.flagged_events, oracle.flagged_events);
+    EXPECT_EQ(fast.pairs, oracle.pairs);
+  }
+  // And the live report set (produced by the fast path) matches the oracle
+  // replay of the run's own mode.
+  const auto oracle_live =
+      analysis::replay_online(world.events(), DetectorMode::kDualClock,
+                              /*with_oracle=*/true);
+  EXPECT_EQ(oracle_live.pairs, live_pairs(world.races()));
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Sweep, PropertySweep,
     ::testing::Values(SweepParam{1, 2, Transport::kHomeSide},

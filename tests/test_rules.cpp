@@ -2,9 +2,13 @@
 // report/event logs.
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "core/event_log.hpp"
 #include "core/race_report.hpp"
 #include "core/rules.hpp"
+#include "util/rng.hpp"
 
 namespace dsmr::core {
 namespace {
@@ -178,6 +182,117 @@ TEST(RaceReport, DescribeMentionsBothClocks) {
   EXPECT_NE(text.find("001"), std::string::npos);
   EXPECT_NE(text.find("110"), std::string::npos);
   EXPECT_NE(text.find("write"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch fast path vs the full-vector-clock oracle.
+// ---------------------------------------------------------------------------
+
+TEST(EpochFastPath, DecidesOrderedPairsWithoutFullComparison) {
+  // Stored = home's (rank 1) post-event clock; accessor saw it (acked put)
+  // and ticked: ordered, no race — decidable from components 1 and 2 alone.
+  const VectorClock stored{1, 2, 0};    // event clock of rank 1.
+  const VectorClock accessor{1, 2, 1};  // rank 2 post-tick, knows stored.
+  const StoredClocks with_epoch{stored, stored, 0, 0, clocks::Epoch::of_event(1, stored),
+                                clocks::Epoch::of_event(1, stored)};
+  const auto fast = check_access(DetectorMode::kDualClock, AccessKind::kWrite,
+                                 /*accessor=*/2, accessor, with_epoch);
+  EXPECT_FALSE(fast.race);
+  EXPECT_EQ(fast.ordering, clocks::Ordering::kAfter);
+  EXPECT_EQ(fast, check_access_oracle(DetectorMode::kDualClock, AccessKind::kWrite, 2,
+                                      accessor, with_epoch));
+}
+
+TEST(EpochFastPath, ZeroStoredClockIsTheZeroEpoch) {
+  const VectorClock zero{0, 0, 0};
+  const VectorClock accessor{0, 0, 1};
+  const StoredClocks with_epoch{zero, zero, kInvalidRank, kInvalidRank,
+                                clocks::Epoch{1, 0}, clocks::Epoch{1, 0}};
+  for (const auto kind : {AccessKind::kRead, AccessKind::kWrite}) {
+    const auto fast =
+        check_access(DetectorMode::kDualClock, kind, 2, accessor, with_epoch);
+    EXPECT_FALSE(fast.race);
+    EXPECT_EQ(fast.ordering, clocks::Ordering::kAfter);
+  }
+}
+
+TEST(EpochFastPath, InvalidEpochFallsBackToFullComparison) {
+  const VectorClock stored{1, 1, 0};
+  const VectorClock accessor{0, 0, 1};
+  // No epochs: identical behavior to the oracle on the slow path.
+  const StoredClocks no_epoch{stored, stored, 0, 1};
+  const auto slow =
+      check_access(DetectorMode::kDualClock, AccessKind::kWrite, 2, accessor, no_epoch);
+  EXPECT_TRUE(slow.race);
+  EXPECT_EQ(slow, check_access_oracle(DetectorMode::kDualClock, AccessKind::kWrite, 2,
+                                      accessor, no_epoch));
+}
+
+TEST(EpochFastPath, InconsistentEpochWitnessFallsBack) {
+  // An epoch whose value disagrees with the stored clock's component must
+  // not be trusted: the fast path declines and the full comparison decides.
+  const VectorClock stored{1, 1, 0};
+  const VectorClock accessor{0, 0, 1};
+  const StoredClocks stale{stored, stored, 0, 1, clocks::Epoch{1, 99},
+                           clocks::Epoch{1, 99}};
+  const auto verdict =
+      check_access(DetectorMode::kDualClock, AccessKind::kWrite, 2, accessor, stale);
+  EXPECT_EQ(verdict, check_access_oracle(DetectorMode::kDualClock, AccessKind::kWrite, 2,
+                                         accessor, stale));
+}
+
+/// Random causal histories: `nprocs` processes tick locally and exchange
+/// messages (tick + merge on receive), producing genuine event clocks. Every
+/// (stored event clock at h, accessor event clock at i) pair — with epochs —
+/// must get the bit-identical Verdict from the fast path and the oracle, for
+/// every mode and access kind. This is the soundness property the O(1) path
+/// rests on (Fidge/Mattern), exercised over thousands of interleavings.
+TEST(EpochFastPath, PropertyIdenticalToOracleOnRandomCausalHistories) {
+  util::Rng rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto nprocs = static_cast<std::size_t>(rng.range(2, 6));
+    std::vector<VectorClock> process_clock(nprocs, VectorClock(nprocs));
+    // Event history: (rank, post-tick clock) — the only clocks the
+    // protocols ever store or compare.
+    std::vector<std::pair<Rank, VectorClock>> events;
+    const int steps = static_cast<int>(rng.range(5, 40));
+    for (int s = 0; s < steps; ++s) {
+      const auto actor = static_cast<std::size_t>(rng.below(nprocs));
+      if (rng.chance(0.4) && nprocs > 1) {
+        // Message: merge a random earlier event's clock (receive), tick.
+        if (!events.empty()) {
+          const auto& [from, clk] = events[rng.below(events.size())];
+          (void)from;
+          process_clock[actor].merge_from(clk);
+        }
+      }
+      process_clock[actor].tick(static_cast<Rank>(actor));
+      events.emplace_back(static_cast<Rank>(actor), process_clock[actor]);
+    }
+    // Compare random event-clock pairs through both implementations.
+    for (int probe = 0; probe < 32; ++probe) {
+      const auto& [h, stored_v] = events[rng.below(events.size())];
+      const auto& [h2, stored_w] = events[rng.below(events.size())];
+      const auto& [accessor, issue] = events[rng.below(events.size())];
+      const Rank prior_access = static_cast<Rank>(rng.range(-1, static_cast<std::int64_t>(nprocs) - 1));
+      const Rank prior_write = static_cast<Rank>(rng.range(-1, static_cast<std::int64_t>(nprocs) - 1));
+      const StoredClocks stored{stored_v, stored_w, prior_access, prior_write,
+                                clocks::Epoch::of_event(h, stored_v),
+                                clocks::Epoch::of_event(h2, stored_w)};
+      for (const auto mode : {DetectorMode::kOff, DetectorMode::kSingleClock,
+                              DetectorMode::kDualClock}) {
+        for (const auto kind : {AccessKind::kRead, AccessKind::kWrite}) {
+          const auto fast = check_access(mode, kind, accessor, issue, stored);
+          const auto oracle = check_access_oracle(mode, kind, accessor, issue, stored);
+          ASSERT_EQ(fast, oracle)
+              << "trial " << trial << " probe " << probe << " mode "
+              << to_string(mode) << " kind " << to_string(kind) << " accessor P"
+              << accessor << " clk " << issue.to_string() << " vs stored "
+              << stored_v.to_string() << "/" << stored_w.to_string();
+        }
+      }
+    }
+  }
 }
 
 TEST(EventLog, RecordsWithSequentialIds) {

@@ -413,14 +413,19 @@ TEST(Runtime, ComputeAdvancesVirtualTime) {
 }
 
 TEST(Runtime, ClockBytesScaleWithProcessesAndAreas) {
-  // CLAIM-V.A1: 2 clocks × n entries × 8 bytes per area.
+  // CLAIM-V.A1: 2 clock states per area, one varint per process plus the
+  // epoch witness — still linear in n and in the area count, but well below
+  // the fixed 2 × n × 8 bytes per area.
   for (int n : {2, 4, 8}) {
     WorldConfig config = quiet_config(n);
     World world(config);
     world.alloc(0, 8, "a");
     world.alloc(0, 8, "b");
     world.alloc(1 % n, 8, "c");
-    EXPECT_EQ(world.total_clock_bytes(), 3u * 2u * static_cast<std::size_t>(n) * 8u);
+    const std::size_t per_area = world.segment(0).area(0).clock_bytes();
+    EXPECT_EQ(per_area, 2u * (static_cast<std::size_t>(n) + 2u));
+    EXPECT_EQ(world.total_clock_bytes(), 3u * per_area);
+    EXPECT_LT(world.total_clock_bytes(), 3u * 2u * static_cast<std::size_t>(n) * 8u);
   }
 }
 

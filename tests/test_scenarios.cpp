@@ -92,11 +92,15 @@ TEST(Fig4, SingleClockAblationFlagsConcurrentReads) {
 
 TEST(Fig4, DualClockMemoryCostIsTwiceSingleClock) {
   // The price of the refinement (§IV.D): "it doubles the necessary amount
-  // of memory" — V and W per area instead of one clock.
+  // of memory" — V and W per area instead of one clock. The doubling
+  // survives the compact representation: both states cost the same.
   World world(figure_config(3));
   const GlobalAddress a = world.alloc(1, 8, "a");
   const auto& area = world.segment(1).area(0);
-  EXPECT_EQ(area.clock_bytes(), 2u * 3u * sizeof(ClockValue));
+  EXPECT_EQ(area.clock_bytes(),
+            area.v_state.storage_bytes() + area.w_state.storage_bytes());
+  EXPECT_EQ(area.v_state.storage_bytes(), area.w_state.storage_bytes());
+  EXPECT_EQ(area.clock_bytes(), 2u * area.v_state.storage_bytes());
   (void)a;
 }
 
