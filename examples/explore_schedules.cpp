@@ -1,25 +1,40 @@
-// Schedule exploration: because the simulator is a pure function of its
-// seed, sweeping seeds explores distinct legal interleavings of the same
+// Schedule exploration: because the simulator is a pure function of
+// (seed, perturbation), sweeping seeds — and, per seed, delay-bound
+// perturbations — explores distinct legal interleavings of the same
 // program. This example hunts a race that manifests only in *some*
-// schedules, reports the manifestation rate, and prints the seed that
-// reproduces it deterministically — the debugging loop the paper's §V.A
-// envisions ("typically, about 10 processes").
+// schedules, fans the grid out over a thread pool, reports the
+// manifestation rate, and prints the (seed, perturbation) that reproduces
+// it deterministically — the debugging loop the paper's §V.A envisions
+// ("typically, about 10 processes").
 //
 //   ./explore_schedules [--ranks N] [--seeds N] [--workload histogram|random]
+//                       [--threads N] [--perturbations K] [--perturb-max NS]
 #include <cstdio>
 
 #include "analysis/seed_sweep.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/workloads.hpp"
 
 using namespace dsmr;
 
 int main(int argc, char** argv) {
-  util::Cli cli(argc, argv, "[--ranks N] [--seeds N] [--workload histogram|random]");
+  util::Cli cli(argc, argv,
+                "[--ranks N] [--seeds N] [--workload histogram|random] [--threads N] "
+                "[--perturbations K] [--perturb-max NS]");
   const auto ranks = static_cast<int>(cli.get_int("ranks", 4));
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 20));
   const std::string workload = cli.get_string("workload", "histogram");
+  const auto threads =
+      static_cast<int>(cli.get_int("threads", util::ThreadPool::hardware_threads()));
+  const auto perturbations = static_cast<std::uint64_t>(cli.get_int("perturbations", 2));
+  const std::int64_t perturb_max_raw = cli.get_int("perturb-max", 4'000);
   cli.finish();
+  if (perturb_max_raw < 0) {
+    std::fprintf(stderr, "--perturb-max must be >= 0\n");
+    return 1;
+  }
+  const auto perturb_max = static_cast<sim::Time>(perturb_max_raw);
 
   runtime::WorldConfig base;
   base.nprocs = ranks;
@@ -45,27 +60,38 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const auto summary = analysis::seed_sweep(base, 1, seeds, spawn);
+  analysis::SweepOptions options;
+  options.threads = threads;
+  for (std::uint64_t salt = 1; salt <= perturbations; ++salt) {
+    options.perturbations.push_back(sim::PerturbConfig{0, perturb_max, salt});
+  }
 
-  std::printf("--- schedule exploration: %s on %d ranks, %llu seeds ---\n",
-              workload.c_str(), ranks, static_cast<unsigned long long>(seeds));
+  const auto summary = analysis::seed_sweep(base, 1, seeds, spawn, options);
+
+  std::printf("--- schedule exploration: %s on %d ranks, %llu seeds x %zu variants, "
+              "%d thread(s) ---\n",
+              workload.c_str(), ranks, static_cast<unsigned long long>(seeds),
+              options.perturbations.size(), threads);
   std::printf("%s\n\n", summary.render().c_str());
-  std::printf("%-6s %-10s %-10s %-10s %-10s\n", "seed", "completed", "reports",
-              "true", "precision");
+  std::printf("%-6s %-18s %-10s %-10s %-10s %-10s\n", "seed", "perturb", "completed",
+              "reports", "true", "precision");
   for (const auto& outcome : summary.outcomes) {
-    std::printf("%-6llu %-10s %-10llu %-10llu %-10.2f\n",
+    std::printf("%-6llu %-18s %-10s %-10llu %-10llu %-10.2f\n",
                 static_cast<unsigned long long>(outcome.seed),
+                outcome.perturb.to_string().c_str(),
                 outcome.completed ? "yes" : "NO",
                 static_cast<unsigned long long>(outcome.races_reported),
                 static_cast<unsigned long long>(outcome.truth_pairs),
                 outcome.precision);
   }
   if (summary.first_racy_seed.has_value()) {
-    std::printf("\nreproduce deterministically: re-run any dsmr program on this "
-                "workload with seed=%llu\n",
-                static_cast<unsigned long long>(*summary.first_racy_seed));
+    std::printf("\nreproduce deterministically: re-run this workload with seed=%llu "
+                "perturb=%s\n",
+                static_cast<unsigned long long>(*summary.first_racy_seed),
+                summary.first_racy_perturb.to_string().c_str());
   } else {
-    std::printf("\nno schedule manifested a race — increase --seeds or contention\n");
+    std::printf("\nno schedule manifested a race — increase --seeds, --perturbations, "
+                "or contention\n");
   }
   return 0;
 }

@@ -1,0 +1,146 @@
+// Differential conformance: every detector the repo ships, cross-checked on
+// every explored schedule.
+//
+// The paper's claim is only as strong as the detector's agreement with its
+// oracles, so this harness runs a workload across a (seed × perturbation)
+// grid — in parallel, one World per schedule — and for each completed run
+// cross-checks four independent verdict sources:
+//
+//  * the live detector (epoch fast path, as production runs it),
+//  * the offline replay of the same mode (must reproduce the live reports),
+//  * the full-vector-clock oracle replay (must agree with the fast path
+//    bit-for-bit, in both detector modes),
+//  * offline ground truth (every dual-clock report is a true race —
+//    precision 1.0, the paper's structural guarantee), plus the cross-mode
+//    write-verdict identity (dual and single clocks agree on every write,
+//    §IV.D). Area recall is *tracked* but deliberately not an invariant:
+//    the online scheme compares each access only against the area's latest
+//    access, so a race hidden behind a later ordered access is missed — on
+//    unlucky schedules an entire racy area can go unflagged (the
+//    pipeline_window2 and sparse-barrier stencil scenarios exhibit this).
+//
+// Any violated invariant is a *disagreement*: a test failure carrying its
+// reproducing (seed, perturbation) pair, and — when a trace directory is
+// configured — an auto-exported JSONL + Chrome trace of the schedule.
+//
+// The Eraser-style lockset baseline is also run, but as a *measured
+// comparison*, not an invariant: lockset flags locking-discipline
+// violations, which by design disagrees with happens-before verdicts on
+// message-ordered programs (false positives) and write-read races that
+// never reach shared-modified state (false negatives). Divergences are
+// counted and reported, never failures.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/seed_sweep.hpp"
+#include "runtime/world.hpp"
+#include "sim/perturb.hpp"
+
+namespace dsmr::analysis {
+
+/// What a scenario promises about races across *all* legal schedules.
+enum class RaceExpectation {
+  kNever,      ///< correctly synchronized: any report or truth pair is a failure.
+  kSometimes,  ///< known-buggy or intentionally racy: manifestation is tracked.
+};
+const char* to_string(RaceExpectation e);
+
+/// A named workload variant with its race expectation — the unit the
+/// conformance grid iterates over.
+struct Scenario {
+  std::string name;
+  std::string description;
+  RaceExpectation expect = RaceExpectation::kNever;
+  int min_ranks = 2;           ///< spawn precondition (e.g. master + worker).
+  bool may_deadlock = false;   ///< none of the builtins; hook for user scenarios.
+  WorkloadFn spawn;
+};
+
+/// All shipped workload variants: clean and buggy stencil/histogram/
+/// pipeline/random/master_worker configurations.
+const std::vector<Scenario>& builtin_scenarios();
+
+/// Lookup by name; nullptr when unknown.
+const Scenario* find_scenario(const std::string& name);
+
+/// One schedule's verdicts from every source, plus any failed invariants.
+struct RunVerdicts {
+  std::uint64_t seed = 0;
+  sim::PerturbConfig perturb{};
+  bool completed = false;
+  std::uint64_t live_reports = 0;      ///< production detector, during the run.
+  std::uint64_t truth_pairs = 0;       ///< offline ground truth.
+  std::uint64_t truth_areas = 0;
+  std::uint64_t fast_flagged = 0;      ///< epoch fast-path replay, run's mode.
+  std::uint64_t oracle_flagged = 0;    ///< full-VC oracle replay, run's mode.
+  std::uint64_t lockset_warnings = 0;  ///< Eraser baseline (informational).
+  bool lockset_covers_truth = true;    ///< truth racy areas ⊆ lockset flags.
+  double area_recall = 1.0;            ///< tracked quality metric, not an invariant.
+  /// Violated invariants ("check: detail"); empty = conformant.
+  std::vector<std::string> failed_checks;
+};
+
+/// A conformance failure with its deterministic repro coordinate.
+struct Divergence {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  sim::PerturbConfig perturb{};
+  std::string check;        ///< which invariant broke.
+  std::string detail;
+  std::string trace_jsonl;  ///< exported trace paths ("" when export off).
+  std::string trace_chrome;
+
+  std::string describe() const;
+};
+
+struct ConformanceOptions {
+  runtime::WorldConfig base;  ///< seed/perturb overridden per schedule.
+  std::uint64_t first_seed = 1;
+  std::uint64_t seeds = 16;
+  int threads = 1;
+  /// Perturbation variants per seed; keep the identity first so every seed
+  /// also runs its base schedule.
+  std::vector<sim::PerturbConfig> perturbations{sim::PerturbConfig{}};
+  /// When non-empty, disagreement schedules are re-run serially and their
+  /// JSONL + Chrome traces written here.
+  std::string trace_dir;
+};
+
+struct ConformanceReport {
+  std::string scenario;
+  RaceExpectation expect = RaceExpectation::kNever;
+  std::vector<RunVerdicts> runs;  ///< (seed-major, perturbation-minor) order.
+  std::uint64_t runs_with_reports = 0;
+  std::uint64_t runs_with_truth = 0;
+  std::uint64_t incomplete_runs = 0;
+  std::uint64_t lockset_divergences = 0;  ///< informational, never failures.
+  double min_area_recall = 1.0;           ///< worst "was the datum flagged" score.
+  std::vector<Divergence> disagreements;  ///< hard failures.
+
+  bool passed() const { return disagreements.empty(); }
+  double manifestation_rate() const {
+    return runs.empty() ? 0.0
+                        : static_cast<double>(runs_with_reports) /
+                              static_cast<double>(runs.size());
+  }
+
+  std::string render() const;
+  /// One JSON object (machine-readable CI artifact): totals, per-run
+  /// outcomes, and disagreements with repro coordinates.
+  void write_json(std::ostream& out) const;
+};
+
+/// Cross-checks one finished run (building block; exposed for tests).
+/// `world` must have been run to completion of World::run already.
+RunVerdicts check_run(runtime::World& world, const runtime::RunReport& report);
+
+/// Runs the full (seed × perturbation) grid for one scenario on
+/// `options.threads` workers and folds the report deterministically.
+ConformanceReport run_conformance(const Scenario& scenario,
+                                  const ConformanceOptions& options);
+
+}  // namespace dsmr::analysis

@@ -142,21 +142,30 @@ ReplayResult replay_online(const core::EventLog& log, core::DetectorMode mode,
   return result;
 }
 
+std::set<RacePair> reported_pairs(const core::RaceLog& races) {
+  std::set<RacePair> pairs;
+  for (const auto& report : races.reports()) {
+    if (report.prior_event_id == 0 || report.event_id == 0) continue;
+    pairs.insert({std::min(report.prior_event_id, report.event_id),
+                  std::max(report.prior_event_id, report.event_id)});
+  }
+  return pairs;
+}
+
 Accuracy evaluate(const core::EventLog& log, const core::RaceLog& races_log) {
   DSMR_REQUIRE(log.enabled(), "accuracy evaluation requires the event log enabled");
-  const GroundTruth truth = compute_ground_truth(log);
+  return evaluate(compute_ground_truth(log), races_log);
+}
 
+Accuracy evaluate(const GroundTruth& truth, const core::RaceLog& races_log) {
   Accuracy acc;
   acc.truth_pairs = truth.pairs.size();
   acc.truth_areas = truth.racy_areas.size();
 
-  std::set<RacePair> reported;
+  const std::set<RacePair> reported = reported_pairs(races_log);
   std::set<AreaKey> reported_areas;
   for (const auto& report : races_log.reports()) {
     reported_areas.insert({report.home, report.area});
-    if (report.prior_event_id == 0 || report.event_id == 0) continue;
-    reported.insert({std::min(report.prior_event_id, report.event_id),
-                     std::max(report.prior_event_id, report.event_id)});
   }
   acc.reported_pairs = reported.size();
   acc.reported_areas = reported_areas.size();

@@ -102,6 +102,17 @@ struct Accuracy {
 };
 Accuracy evaluate(const core::EventLog& log, const core::RaceLog& races);
 
+/// As above with a precomputed ground truth — compute_ground_truth is the
+/// O(m²)-per-area pass, so callers that already hold a GroundTruth (the
+/// sweep and conformance layers) must not pay it twice per run.
+Accuracy evaluate(const GroundTruth& truth, const core::RaceLog& races);
+
+/// The live reports normalized to unique unordered (prior, current) pairs,
+/// dropping reports whose prior is unknown (id 0). Single definition shared
+/// by the accuracy metrics and the conformance live-vs-replay invariant so
+/// the two can never drift apart.
+std::set<RacePair> reported_pairs(const core::RaceLog& races);
+
 /// Offline replay of the *online* algorithm over a recorded log: walks each
 /// area in application order, maintains V/W/last-ranks exactly as the home
 /// NICs do, and applies core::check_access under `mode`.

@@ -1,12 +1,18 @@
 // Schedule exploration by seed sweeping.
 //
-// The simulator is a pure function of its seed, so sweeping seeds explores
-// distinct legal interleavings of the same program — the closest a dynamic
-// race detector gets to schedule coverage. The sweep aggregates, per seed:
-// whether the run completed, how many races were reported, and the online
-// detector's accuracy against ground truth; plus the overall hit rate
-// ("in how many schedules did the bug manifest?") and the first seed that
-// exposed it, which can then be replayed deterministically.
+// The simulator is a pure function of (seed, perturbation), so sweeping
+// seeds — and, per seed, delay-bound perturbations (sim/perturb.hpp) —
+// explores distinct legal interleavings of the same program: the closest a
+// dynamic race detector gets to schedule coverage. The sweep aggregates,
+// per schedule: whether the run completed, how many races were reported,
+// and the online detector's accuracy against ground truth; plus the overall
+// hit rate ("in how many schedules did the bug manifest?") and the first
+// (seed, perturbation) that exposed it, which replays deterministically.
+//
+// Runs share no state, so the sweep fans out over a util::ThreadPool.
+// Parallel outcomes are bit-identical to the serial sweep: each job writes
+// its pre-assigned slot and the summary is folded in schedule order after
+// the pool drains, never in completion order.
 #pragma once
 
 #include <cstdint>
@@ -17,16 +23,21 @@
 
 #include "analysis/ground_truth.hpp"
 #include "runtime/world.hpp"
+#include "sim/perturb.hpp"
+#include "util/stats.hpp"
 
 namespace dsmr::analysis {
 
 struct SeedOutcome {
   std::uint64_t seed = 0;
+  sim::PerturbConfig perturb{};  ///< with seed, the schedule's replay key.
   bool completed = false;
   std::uint64_t races_reported = 0;
   std::uint64_t truth_pairs = 0;
   double precision = 1.0;
   double area_recall = 1.0;
+  sim::Time end_time = 0;            ///< schedule fingerprint (virtual ns).
+  std::uint64_t engine_events = 0;   ///< schedule fingerprint (event count).
 };
 
 struct SweepSummary {
@@ -35,7 +46,9 @@ struct SweepSummary {
   std::uint64_t seeds_with_truth = 0;    ///< schedules with a true race.
   std::uint64_t incomplete_runs = 0;     ///< deadlocked schedules.
   std::optional<std::uint64_t> first_racy_seed;  ///< replay this to debug.
+  sim::PerturbConfig first_racy_perturb{};       ///< ... under this perturbation.
   double min_precision = 1.0;
+  util::OnlineStats races_per_schedule;  ///< reports per schedule, across the sweep.
 
   double manifestation_rate() const {
     return outcomes.empty() ? 0.0
@@ -47,11 +60,34 @@ struct SweepSummary {
 };
 
 /// The workload under test: given a configured World (seed already set),
-/// allocate data and spawn the programs.
+/// allocate data and spawn the programs. Must be reentrant — a parallel
+/// sweep invokes it concurrently from pool workers, one World per call.
 using WorkloadFn = std::function<void(runtime::World&)>;
 
-/// Runs `workload` once per seed in [first_seed, first_seed + count) on top
-/// of `base_config` (its seed field is overwritten per run).
+struct SweepOptions {
+  /// Pool width; 1 = serial on the calling thread. Outcomes are identical
+  /// either way.
+  int threads = 1;
+  /// Perturbation variants applied to *every* seed. Always includes the
+  /// base (unperturbed) schedule first; each extra entry multiplies the
+  /// explored schedules per seed.
+  std::vector<sim::PerturbConfig> perturbations{sim::PerturbConfig{}};
+};
+
+/// One schedule: runs `workload` under `base_config` with the seed and
+/// perturbation overridden. The building block of every sweep — exposed so
+/// tests and the conformance harness can replay a single (seed, perturb).
+SeedOutcome run_schedule(const runtime::WorldConfig& base_config, std::uint64_t seed,
+                         const sim::PerturbConfig& perturb, const WorkloadFn& workload);
+
+/// Runs `workload` once per (seed, perturbation) for seeds in
+/// [first_seed, first_seed + count), fanning out over `options.threads`.
+/// Outcome order is (seed-major, perturbation-minor), deterministic.
+SweepSummary seed_sweep(const runtime::WorldConfig& base_config, std::uint64_t first_seed,
+                        std::uint64_t count, const WorkloadFn& workload,
+                        const SweepOptions& options);
+
+/// Serial, unperturbed sweep (the original entry point).
 SweepSummary seed_sweep(const runtime::WorldConfig& base_config, std::uint64_t first_seed,
                         std::uint64_t count, const WorkloadFn& workload);
 

@@ -7,8 +7,12 @@
 namespace dsmr::net {
 
 SimFabric::SimFabric(sim::Engine& engine, int nranks, LatencyModel model,
-                     std::uint64_t seed)
-    : engine_(engine), model_(model), rng_(seed), handlers_(static_cast<std::size_t>(nranks)) {
+                     std::uint64_t seed, sim::PerturbConfig perturb)
+    : engine_(engine),
+      model_(model),
+      rng_(seed),
+      perturb_(perturb, seed, /*stream=*/0),
+      handlers_(static_cast<std::size_t>(nranks)) {
   DSMR_REQUIRE(nranks > 0, "fabric needs at least one rank");
 }
 
@@ -25,7 +29,11 @@ sim::Time SimFabric::send(Message m) {
                "send: bad dst rank " << m.dst);
   counters_.record(m);
 
-  const sim::Time cost = model_.cost(m.wire_size(), m.src == m.dst, rng_);
+  // Perturbation skew is added to the raw cost, *before* the FIFO clamp
+  // below — so exploration can reorder deliveries on distinct channels but
+  // never violate the model's per-channel FIFO guarantee.
+  const sim::Time cost =
+      model_.cost(m.wire_size(), m.src == m.dst, rng_) + perturb_.skew();
   const auto key = std::make_pair(m.src, m.dst);
   sim::Time deliver_at = engine_.now() + cost;
   // FIFO per ordered pair: never deliver before an earlier message on the

@@ -7,6 +7,7 @@
 
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
+#include "sim/perturb.hpp"
 #include "util/rng.hpp"
 
 namespace dsmr::net {
@@ -31,7 +32,10 @@ struct LatencyModel {
 
 class SimFabric final : public Fabric {
  public:
-  SimFabric(sim::Engine& engine, int nranks, LatencyModel model, std::uint64_t seed);
+  /// `perturb` adds seeded delay-bound skew to every delivery (schedule
+  /// exploration, sim/perturb.hpp); the default is the identity.
+  SimFabric(sim::Engine& engine, int nranks, LatencyModel model, std::uint64_t seed,
+            sim::PerturbConfig perturb = {});
 
   void attach(Rank rank, Handler handler) override;
   sim::Time send(Message m) override;
@@ -52,6 +56,7 @@ class SimFabric final : public Fabric {
   sim::Engine& engine_;
   LatencyModel model_;
   util::Rng rng_;
+  sim::Perturbator perturb_;
   std::vector<Handler> handlers_;
   /// Per ordered (src,dst) pair: the latest scheduled delivery time, used to
   /// enforce FIFO even when jitter would reorder two back-to-back sends.

@@ -125,13 +125,16 @@ sim::Future<std::vector<std::byte>> Process::wait_signal(std::uint64_t tag) {
 
 sim::Future<void> Process::compute(sim::Time duration) {
   world_.node_clock(rank_).tick();  // a local event.
-  co_await sim::Delay{engine(), duration};
+  // Wakeup skew (schedule perturbation): the computation "runs long" by a
+  // seeded bounded amount — legal, since duration carries no ordering
+  // semantics beyond the delay itself.
+  co_await sim::Delay{engine(), duration + world_.wakeup_skew()};
 }
 
 sim::Future<void> Process::sleep(sim::Time duration) {
   // Pure scheduling delay: no logical event, the clock is untouched. Used
   // by tests that reproduce the paper's figures with exact clock values.
-  co_await sim::Delay{engine(), duration};
+  co_await sim::Delay{engine(), duration + world_.wakeup_skew()};
 }
 
 }  // namespace dsmr::runtime

@@ -20,7 +20,8 @@ World::Node::Node(Rank rank, World& world)
 World::World(WorldConfig config)
     : config_(config),
       engine_(),
-      fabric_(engine_, config.nprocs, config.latency, config.seed) {
+      fabric_(engine_, config.nprocs, config.latency, config.seed, config.perturb),
+      wakeup_perturb_(config.perturb, config.seed, /*stream=*/1) {
   DSMR_REQUIRE(config_.nprocs > 0, "world needs at least one process");
   nodes_.reserve(static_cast<std::size_t>(config_.nprocs));
   processes_.reserve(static_cast<std::size_t>(config_.nprocs));

@@ -19,6 +19,7 @@
 #include "nic/nic.hpp"
 #include "nic/node_clock.hpp"
 #include "sim/engine.hpp"
+#include "sim/perturb.hpp"
 #include "sim/task.hpp"
 
 namespace dsmr::runtime {
@@ -31,6 +32,10 @@ struct WorldConfig {
   core::DetectorMode mode = core::DetectorMode::kDualClock;
   core::Transport transport = core::Transport::kHomeSide;
   net::LatencyModel latency{};
+  /// Delay-bound schedule perturbation (sim/perturb.hpp): seeded extra skew
+  /// on message delivery and task wakeups. Identity by default; (seed,
+  /// perturb) names a replayable schedule.
+  sim::PerturbConfig perturb{};
   bool lock_clock_handoff = true;
   bool track_matrix_clocks = false;
   /// When true (default), a put's completion ack merges the home's clock
@@ -93,6 +98,10 @@ class World {
   nic::NodeClock& node_clock(Rank rank);
   Process& process(Rank rank);
 
+  /// The next wakeup skew under the configured perturbation (0 when
+  /// disabled). Consumed by Process::sleep / Process::compute.
+  sim::Time wakeup_skew() { return wakeup_perturb_.skew(); }
+
   /// Detection-metadata bytes across all ranks (CLAIM-V.A1).
   std::size_t total_clock_bytes() const;
 
@@ -117,6 +126,7 @@ class World {
   WorldConfig config_;
   sim::Engine engine_;
   net::SimFabric fabric_;
+  sim::Perturbator wakeup_perturb_;
   core::RaceLog races_;
   core::EventLog events_;
   std::vector<std::unique_ptr<Node>> nodes_;

@@ -1,0 +1,87 @@
+// Delay-bound schedule perturbation.
+//
+// The discrete-event simulation is a pure function of its seed, so a seed
+// sweep explores interleavings — but only the ones the base latency model's
+// jitter can reach. A Perturbation widens that space: it adds a seeded,
+// bounded extra skew to the two places where physical timing (not program
+// logic) decides ordering — message delivery through the SimFabric and task
+// wakeups (Process::sleep / Process::compute).
+//
+// Two properties make this a *schedule explorer* rather than a fuzzer:
+//  * legality — skew only delays deliveries and wakeups; the fabric's
+//    per-channel FIFO clamp runs after the skew, so every perturbed run is a
+//    legal execution of the unperturbed model (same happens-before rules,
+//    different interleaving). Delay-bounding is the classic systematic-
+//    search trick (cf. CHESS-style preemption bounds in PAPERS.md).
+//  * determinism — skews come from a dedicated RNG stream derived from
+//    (world seed, salt), never from the simulation's own streams, so
+//    (seed, perturbation) is a complete, replayable schedule coordinate
+//    and a disabled perturbation leaves the base run bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace dsmr::sim {
+
+/// One point in perturbation space: skew bounds plus a salt naming the
+/// stream. (seed, PerturbConfig) identifies a schedule for deterministic
+/// replay; the default config is the identity (no skew, no RNG draws).
+struct PerturbConfig {
+  Time min_skew_ns = 0;    ///< inclusive lower bound of each added skew.
+  Time max_skew_ns = 0;    ///< inclusive upper bound; 0 = disabled.
+  std::uint64_t salt = 0;  ///< selects the perturbation stream for one seed.
+
+  bool enabled() const { return max_skew_ns > 0; }
+
+  bool operator==(const PerturbConfig&) const = default;
+
+  /// "off" or "skew[min,max]ns#salt" — used in reports and repro lines.
+  std::string to_string() const {
+    if (!enabled()) return "off";
+    std::ostringstream out;
+    out << "skew[" << min_skew_ns << "," << max_skew_ns << "]ns#" << salt;
+    return out.str();
+  }
+};
+
+/// Draws the per-injection-point skews for one run. Each consumer (the
+/// fabric, the wakeup path) holds its own Perturbator forked by stream id,
+/// so adding an injection point never shifts another point's draws.
+class Perturbator {
+ public:
+  Perturbator() = default;
+
+  /// `stream` decorrelates the injection points of one (seed, config) pair.
+  Perturbator(const PerturbConfig& config, std::uint64_t world_seed, std::uint64_t stream)
+      : config_(config),
+        rng_(util::SplitMix64(world_seed ^ (0x9e3779b97f4a7c15ULL * (config.salt + 1)) ^
+                              (0xd1342543de82ef95ULL * (stream + 1)))
+                 .next()) {
+    DSMR_REQUIRE(config.min_skew_ns <= config.max_skew_ns,
+                 "perturbation skew bounds inverted: min=" << config.min_skew_ns
+                                                           << " max=" << config.max_skew_ns);
+  }
+
+  const PerturbConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled(); }
+
+  /// The next skew: uniform in [min, max] when enabled, else 0 without
+  /// touching the RNG (keeps disabled runs bit-identical to the baseline).
+  Time skew() {
+    if (!config_.enabled()) return 0;
+    const auto span = static_cast<std::uint64_t>(config_.max_skew_ns - config_.min_skew_ns) + 1;
+    return config_.min_skew_ns + static_cast<Time>(rng_.below(span));
+  }
+
+ private:
+  PerturbConfig config_{};
+  util::Rng rng_{0};
+};
+
+}  // namespace dsmr::sim

@@ -131,10 +131,14 @@ sim::Task stencil_program(Process& p, StencilConfig cfg, StencilAreas areas) {
   }
 
   for (int iter = 0; iter < cfg.iters; ++iter) {
+    // Synchronized phase? Always when barrier_period == 1; with sparser
+    // periods only every barrier_period-th iteration; never when buggy.
+    const bool synced =
+        !cfg.buggy && cfg.barrier_period > 0 && (iter % cfg.barrier_period) == 0;
     // Publish boundary cells into the neighbours' halos.
     if (r > 0) co_await p.put_value(areas.halo_right[static_cast<std::size_t>(r - 1)], cells.front());
     if (r < n - 1) co_await p.put_value(areas.halo_left[static_cast<std::size_t>(r + 1)], cells.back());
-    if (!cfg.buggy) co_await team.barrier();
+    if (synced) co_await team.barrier();
 
     // Read own halos (instrumented *local* accesses to public memory: the
     // model makes no distinction, §III.A) and relax.
@@ -152,7 +156,7 @@ sim::Task stencil_program(Process& p, StencilConfig cfg, StencilAreas areas) {
       next[i] = (lv + cells[i] + rv) / 3.0;
     }
     cells = std::move(next);
-    if (!cfg.buggy) co_await team.barrier();
+    if (synced) co_await team.barrier();
   }
 
   // Publish final cells (local puts; sequential, race-free).
@@ -165,6 +169,7 @@ sim::Task stencil_program(Process& p, StencilConfig cfg, StencilAreas areas) {
 
 StencilHandles spawn_stencil(World& world, const StencilConfig& config) {
   DSMR_REQUIRE(config.cells_per_rank >= 2, "stencil needs ≥2 cells per rank");
+  DSMR_REQUIRE(config.barrier_period >= 0, "stencil barrier_period must be ≥ 0");
   StencilAreas areas;
   for (Rank r = 0; r < world.nprocs(); ++r) {
     areas.halo_left.push_back(world.alloc(r, sizeof(double), "halo_l" + std::to_string(r)));
@@ -275,10 +280,11 @@ sim::Task pipeline_program(Process& p, PipelineConfig cfg,
       value += 1;
     }
     if (r < n - 1) {
-      if (cfg.backpressure && t > 0) {
+      if (cfg.backpressure && t >= cfg.ack_window) {
         // Without this credit the put below races with the successor's
-        // read of the previous token.
-        co_await p.wait_signal(ack_tag(t - 1));
+        // read of the previous token. A window > 1 lets the producer run
+        // ahead, so the credit arrives too late in unlucky schedules.
+        co_await p.wait_signal(ack_tag(t - cfg.ack_window));
       }
       co_await p.put_value(slots[static_cast<std::size_t>(r + 1)], value);
       p.signal(r + 1, token_tag(t));
@@ -295,6 +301,7 @@ sim::Task pipeline_program(Process& p, PipelineConfig cfg,
 
 PipelineHandles spawn_pipeline(World& world, const PipelineConfig& config) {
   DSMR_REQUIRE(world.nprocs() >= 2, "pipeline needs at least two ranks");
+  DSMR_REQUIRE(config.ack_window >= 1, "pipeline ack_window must be ≥ 1");
   std::vector<mem::GlobalAddress> slots;
   for (Rank r = 0; r < world.nprocs(); ++r) {
     slots.push_back(world.alloc(r, sizeof(std::uint64_t), "slot" + std::to_string(r)));

@@ -80,6 +80,12 @@ struct StencilConfig {
   int cells_per_rank = 16;
   int iters = 4;
   bool buggy = false;  ///< drop the barriers: halo traffic races.
+  /// Barrier-synchronize only every `barrier_period`-th iteration (1 = every
+  /// iteration, the race-free default). Periods > 1 leave some phases
+  /// unsynchronized, so the halo race becomes *schedule-dependent* — it
+  /// manifests only under unlucky timing, which is exactly what the
+  /// exploration harness hunts. 0 behaves like `buggy` (never synchronize).
+  int barrier_period = 1;
 };
 
 struct StencilHandles {
@@ -122,6 +128,12 @@ std::uint64_t histogram_total(runtime::World& world, const HistogramHandles& han
 struct PipelineConfig {
   int tokens = 8;
   bool backpressure = true;  ///< false: deliberately racy variant.
+  /// Credit window: with backpressure, a producer may run `ack_window`
+  /// tokens ahead of its consumer's acks. 1 (default) is race-free; wider
+  /// windows reintroduce the overwrite race, but only in schedules where
+  /// the producer actually outpaces the consumer — a timing-dependent bug
+  /// for the exploration harness to expose.
+  int ack_window = 1;
 };
 
 struct PipelineHandles {

@@ -1,0 +1,404 @@
+// Tests for schedule exploration at scale: the thread pool, the parallel
+// seed sweep (bit-identical to serial), the delay-bound perturbation layer,
+// and the differential conformance harness.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "analysis/conformance.hpp"
+#include "analysis/seed_sweep.hpp"
+#include "runtime/process.hpp"
+#include "runtime/world.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/workloads.hpp"
+
+namespace dsmr::analysis {
+namespace {
+
+using runtime::World;
+using runtime::WorldConfig;
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  std::atomic<int> counter{0};
+  {
+    util::ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(ThreadPool, WaitIdleThenReuse) {
+  util::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, ParallelForCoversEachIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  util::parallel_for(hits.size(), 4, [&hits](std::uint64_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForSerialFallbackRunsInline) {
+  std::vector<int> order;
+  util::parallel_for(5, 1, [&order](std::uint64_t i) {
+    order.push_back(static_cast<int>(i));  // unsynchronized: must be inline.
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(util::ThreadPool::hardware_threads(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel seed sweep — bit-identical to serial
+// ---------------------------------------------------------------------------
+
+WorkloadFn contended_histogram() {
+  return [](World& world) {
+    workload::HistogramConfig wl;
+    wl.bins = 4;
+    wl.increments_per_rank = 8;
+    workload::spawn_histogram(world, wl);
+  };
+}
+
+void expect_outcomes_identical(const std::vector<SeedOutcome>& a,
+                               const std::vector<SeedOutcome>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed) << "slot " << i;
+    EXPECT_EQ(a[i].perturb, b[i].perturb) << "slot " << i;
+    EXPECT_EQ(a[i].completed, b[i].completed) << "slot " << i;
+    EXPECT_EQ(a[i].races_reported, b[i].races_reported) << "slot " << i;
+    EXPECT_EQ(a[i].truth_pairs, b[i].truth_pairs) << "slot " << i;
+    // Doubles compared exactly: both sides must be the same computation.
+    EXPECT_EQ(a[i].precision, b[i].precision) << "slot " << i;
+    EXPECT_EQ(a[i].area_recall, b[i].area_recall) << "slot " << i;
+    EXPECT_EQ(a[i].end_time, b[i].end_time) << "slot " << i;
+    EXPECT_EQ(a[i].engine_events, b[i].engine_events) << "slot " << i;
+  }
+}
+
+TEST(ParallelSweep, BitIdenticalToSerialOnFourThreads) {
+  WorldConfig base;
+  base.nprocs = 4;
+  const auto workload = contended_histogram();
+
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions parallel;
+  parallel.threads = 4;
+
+  const auto a = seed_sweep(base, 1, 12, workload, serial);
+  const auto b = seed_sweep(base, 1, 12, workload, parallel);
+  expect_outcomes_identical(a.outcomes, b.outcomes);
+  EXPECT_EQ(a.seeds_with_reports, b.seeds_with_reports);
+  EXPECT_EQ(a.seeds_with_truth, b.seeds_with_truth);
+  EXPECT_EQ(a.incomplete_runs, b.incomplete_runs);
+  EXPECT_EQ(a.first_racy_seed, b.first_racy_seed);
+  EXPECT_EQ(a.min_precision, b.min_precision);
+  EXPECT_EQ(a.races_per_schedule.count(), b.races_per_schedule.count());
+  EXPECT_EQ(a.races_per_schedule.mean(), b.races_per_schedule.mean());
+}
+
+TEST(ParallelSweep, BitIdenticalWithPerturbationVariants) {
+  WorldConfig base;
+  base.nprocs = 3;
+  const auto workload = contended_histogram();
+
+  SweepOptions options;
+  options.perturbations = {sim::PerturbConfig{},
+                           sim::PerturbConfig{0, 3'000, 1},
+                           sim::PerturbConfig{500, 5'000, 2}};
+  options.threads = 1;
+  const auto serial = seed_sweep(base, 5, 6, workload, options);
+  options.threads = 4;
+  const auto parallel = seed_sweep(base, 5, 6, workload, options);
+  EXPECT_EQ(serial.outcomes.size(), 18u);  // 6 seeds × 3 variants.
+  expect_outcomes_identical(serial.outcomes, parallel.outcomes);
+}
+
+TEST(ParallelSweep, LegacyEntryPointUnchanged) {
+  WorldConfig base;
+  base.nprocs = 4;
+  const auto summary = seed_sweep(base, 1, 4, contended_histogram());
+  EXPECT_EQ(summary.outcomes.size(), 4u);
+  for (const auto& outcome : summary.outcomes) {
+    EXPECT_FALSE(outcome.perturb.enabled());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delay-bound perturbation
+// ---------------------------------------------------------------------------
+
+TEST(Perturbation, DisabledConfigIsBitIdenticalToBaseline) {
+  WorldConfig base;
+  base.nprocs = 4;
+  const auto baseline = run_schedule(base, 7, sim::PerturbConfig{}, contended_histogram());
+  // An explicitly-disabled perturbation (max == 0) must not shift anything:
+  // the RNG is never consulted.
+  const auto disabled =
+      run_schedule(base, 7, sim::PerturbConfig{0, 0, 99}, contended_histogram());
+  EXPECT_EQ(baseline.end_time, disabled.end_time);
+  EXPECT_EQ(baseline.engine_events, disabled.engine_events);
+  EXPECT_EQ(baseline.races_reported, disabled.races_reported);
+  EXPECT_EQ(baseline.truth_pairs, disabled.truth_pairs);
+}
+
+TEST(Perturbation, SameCoordinateReplaysDeterministically) {
+  WorldConfig base;
+  base.nprocs = 4;
+  const sim::PerturbConfig perturb{100, 6'000, 3};
+  const auto first = run_schedule(base, 11, perturb, contended_histogram());
+  const auto second = run_schedule(base, 11, perturb, contended_histogram());
+  EXPECT_EQ(first.end_time, second.end_time);
+  EXPECT_EQ(first.engine_events, second.engine_events);
+  EXPECT_EQ(first.races_reported, second.races_reported);
+  EXPECT_EQ(first.truth_pairs, second.truth_pairs);
+}
+
+TEST(Perturbation, SaltsExploreDistinctSchedules) {
+  WorldConfig base;
+  base.nprocs = 4;
+  const auto baseline = run_schedule(base, 3, sim::PerturbConfig{}, contended_histogram());
+  // Across several salts, at least one perturbed run must land on a
+  // different schedule (virtual end time is a cheap fingerprint — skew
+  // shifts delivery times even when the interleaving survives).
+  bool any_differs = false;
+  for (std::uint64_t salt = 1; salt <= 4 && !any_differs; ++salt) {
+    const auto perturbed =
+        run_schedule(base, 3, sim::PerturbConfig{0, 5'000, salt}, contended_histogram());
+    any_differs = perturbed.end_time != baseline.end_time;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Perturbation, SkewBoundsAreRespected) {
+  sim::Perturbator perturbator(sim::PerturbConfig{200, 700, 1}, /*world_seed=*/42,
+                               /*stream=*/0);
+  for (int i = 0; i < 1000; ++i) {
+    const auto skew = perturbator.skew();
+    EXPECT_GE(skew, 200);
+    EXPECT_LE(skew, 700);
+  }
+  sim::Perturbator disabled;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(disabled.skew(), 0);
+}
+
+TEST(Perturbation, WidensTheExploredScheduleSpace) {
+  // The whole point of the layer: one seed range, more distinct schedules.
+  WorldConfig base;
+  base.nprocs = 4;
+  std::set<std::pair<sim::Time, std::uint64_t>> fingerprints;
+  const auto workload = contended_histogram();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto outcome = run_schedule(base, seed, {}, workload);
+    fingerprints.insert({outcome.end_time, outcome.engine_events});
+  }
+  const auto base_count = fingerprints.size();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    for (std::uint64_t salt = 1; salt <= 2; ++salt) {
+      const auto outcome =
+          run_schedule(base, seed, sim::PerturbConfig{0, 8'000, salt}, workload);
+      fingerprints.insert({outcome.end_time, outcome.engine_events});
+    }
+  }
+  EXPECT_GT(fingerprints.size(), base_count);
+}
+
+// ---------------------------------------------------------------------------
+// Differential conformance harness
+// ---------------------------------------------------------------------------
+
+ConformanceOptions small_grid(int nprocs = 4) {
+  ConformanceOptions options;
+  options.base.nprocs = nprocs;
+  options.seeds = 6;
+  options.threads = 2;
+  options.perturbations = {sim::PerturbConfig{}, sim::PerturbConfig{0, 4'000, 1}};
+  return options;
+}
+
+TEST(Conformance, RegistryNamesAreUniqueAndFindable) {
+  std::set<std::string> names;
+  for (const auto& scenario : builtin_scenarios()) {
+    EXPECT_TRUE(names.insert(scenario.name).second) << scenario.name;
+    EXPECT_EQ(find_scenario(scenario.name), &scenario);
+    EXPECT_TRUE(scenario.spawn != nullptr);
+  }
+  EXPECT_EQ(find_scenario("no_such_scenario"), nullptr);
+  EXPECT_GE(names.size(), 10u);
+}
+
+TEST(Conformance, CleanScenariosConformAndNeverManifest) {
+  for (const char* name : {"stencil", "histogram_locked", "pipeline", "random_locked"}) {
+    const auto* scenario = find_scenario(name);
+    ASSERT_NE(scenario, nullptr) << name;
+    const auto report = run_conformance(*scenario, small_grid());
+    EXPECT_TRUE(report.passed()) << report.render();
+    EXPECT_EQ(report.runs_with_reports, 0u) << name;
+    EXPECT_EQ(report.runs_with_truth, 0u) << name;
+    EXPECT_EQ(report.incomplete_runs, 0u) << name;
+  }
+}
+
+TEST(Conformance, KnownBuggyVariantsManifestWithZeroDisagreements) {
+  // The acceptance gate: detectors and oracles agree on every schedule,
+  // while each shipped bug manifests in at least one explored schedule.
+  for (const char* name : {"stencil_buggy", "histogram", "pipeline_nobackpressure"}) {
+    const auto* scenario = find_scenario(name);
+    ASSERT_NE(scenario, nullptr) << name;
+    const auto report = run_conformance(*scenario, small_grid());
+    EXPECT_TRUE(report.passed()) << report.render();
+    EXPECT_GT(report.runs_with_reports, 0u) << name;
+    EXPECT_GT(report.runs_with_truth, 0u) << name;
+  }
+}
+
+TEST(Conformance, ScheduleDependentBugsNeedExploration) {
+  // pipeline_window2 and stencil_sparse race only under some schedules;
+  // the grid must still be fully conformant while catching them somewhere.
+  for (const char* name : {"pipeline_window2", "stencil_sparse"}) {
+    const auto* scenario = find_scenario(name);
+    ASSERT_NE(scenario, nullptr) << name;
+    auto options = small_grid();
+    options.seeds = 8;
+    const auto report = run_conformance(*scenario, options);
+    EXPECT_TRUE(report.passed()) << report.render();
+    EXPECT_GT(report.runs_with_reports, 0u) << name;
+  }
+}
+
+TEST(Conformance, CheckRunCrossChecksASingleWorld) {
+  WorldConfig config;
+  config.nprocs = 4;
+  config.seed = 5;
+  World world(config);
+  workload::HistogramConfig wl;
+  wl.bins = 3;
+  wl.increments_per_rank = 10;
+  workload::spawn_histogram(world, wl);
+  const auto report = world.run();
+  ASSERT_TRUE(report.completed);
+  const auto verdicts = check_run(world, report);
+  EXPECT_TRUE(verdicts.failed_checks.empty())
+      << verdicts.failed_checks.front();
+  EXPECT_EQ(verdicts.live_reports, world.races().count());
+  EXPECT_EQ(verdicts.seed, 5u);
+  EXPECT_GT(verdicts.truth_pairs, 0u);
+}
+
+TEST(Conformance, RacyRunInCleanScenarioIsADisagreementWithExportedTrace) {
+  // A deliberately mislabeled scenario: racy histogram declared race-free.
+  // The harness must flag every racy schedule and export its repro trace.
+  Scenario mislabeled;
+  mislabeled.name = "mislabeled_histogram";
+  mislabeled.expect = RaceExpectation::kNever;
+  mislabeled.min_ranks = 1;
+  mislabeled.spawn = contended_histogram();
+
+  const auto trace_dir =
+      std::filesystem::temp_directory_path() / "dsmr_conformance_test";
+  std::filesystem::remove_all(trace_dir);
+  std::filesystem::create_directories(trace_dir);
+
+  auto options = small_grid();
+  options.seeds = 4;
+  options.trace_dir = trace_dir.string();
+  const auto report = run_conformance(mislabeled, options);
+  ASSERT_FALSE(report.passed());
+  EXPECT_GT(report.runs_with_reports, 0u);
+  for (const auto& divergence : report.disagreements) {
+    EXPECT_EQ(divergence.check.substr(0, 22), "race-in-clean-scenario");
+    ASSERT_FALSE(divergence.trace_jsonl.empty());
+    EXPECT_TRUE(std::filesystem::exists(divergence.trace_jsonl)) << divergence.trace_jsonl;
+    EXPECT_TRUE(std::filesystem::exists(divergence.trace_chrome)) << divergence.trace_chrome;
+    EXPECT_GT(std::filesystem::file_size(divergence.trace_jsonl), 0u);
+    EXPECT_FALSE(divergence.describe().empty());
+  }
+  std::filesystem::remove_all(trace_dir);
+}
+
+TEST(Conformance, DisagreementsCarryTheReproCoordinate) {
+  Scenario mislabeled;
+  mislabeled.name = "mislabeled";
+  mislabeled.expect = RaceExpectation::kNever;
+  mislabeled.min_ranks = 1;
+  mislabeled.spawn = contended_histogram();
+  auto options = small_grid();
+  options.seeds = 3;
+  const auto report = run_conformance(mislabeled, options);
+  ASSERT_FALSE(report.passed());
+  const auto& divergence = report.disagreements.front();
+  // Replaying the coordinate reproduces a racy schedule deterministically.
+  const auto replay = run_schedule(options.base, divergence.seed, divergence.perturb,
+                                   mislabeled.spawn);
+  EXPECT_GT(replay.races_reported, 0u);
+}
+
+TEST(Conformance, ReportRendersAndWritesJson) {
+  const auto* scenario = find_scenario("master_worker");
+  ASSERT_NE(scenario, nullptr);
+  auto options = small_grid();
+  options.seeds = 3;
+  const auto report = run_conformance(*scenario, options);
+  EXPECT_TRUE(report.passed()) << report.render();
+  EXPECT_NE(report.render().find("master_worker"), std::string::npos);
+
+  std::ostringstream json;
+  report.write_json(json);
+  const auto text = json.str();
+  EXPECT_NE(text.find("\"scenario\":\"master_worker\""), std::string::npos);
+  EXPECT_NE(text.find("\"passed\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"runs\":["), std::string::npos);
+  // Structural sanity: braces and brackets balance.
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (const char c : text) {
+    if (escaped) { escaped = false; continue; }
+    if (c == '\\') { escaped = true; continue; }
+    if (c == '"') { in_string = !in_string; continue; }
+    if (in_string) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Conformance, MasterWorkerBenignRaceIsSignaledOnEverySchedule) {
+  // §IV.D: the intentional race must be signaled (manifestation rate 1.0
+  // at this contention level) and never break a structural invariant.
+  const auto* scenario = find_scenario("master_worker");
+  ASSERT_NE(scenario, nullptr);
+  const auto report = run_conformance(*scenario, small_grid());
+  EXPECT_TRUE(report.passed()) << report.render();
+  EXPECT_DOUBLE_EQ(report.manifestation_rate(), 1.0);
+}
+
+}  // namespace
+}  // namespace dsmr::analysis

@@ -4,10 +4,13 @@
 
 #include <algorithm>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "runtime/process.hpp"
 #include "runtime/world.hpp"
 #include "trace/trace.hpp"
+#include "workload/workloads.hpp"
 
 namespace dsmr::trace {
 namespace {
@@ -147,6 +150,186 @@ TEST(Trace, ChromeTraceIsWellFormedAndComplete) {
   // Rank rows are named.
   EXPECT_NE(doc.find("\"name\":\"P0\""), std::string::npos);
   EXPECT_NE(doc.find("\"name\":\"P2\""), std::string::npos);
+}
+
+// --- golden trace schema --------------------------------------------------
+//
+// A fixed-seed master_worker run pins the JSONL schema: exact top-level
+// field names in exact order, per record kind. External consumers (jq,
+// pandas, the conformance CI artifacts) key on these names — any drift must
+// be a deliberate, test-visible decision.
+
+/// Top-level keys of a one-line JSON object, in order of appearance.
+/// (Values may contain arrays but no nested objects — scanner tracks both.)
+std::vector<std::string> top_level_keys(const std::string& line) {
+  std::vector<std::string> keys;
+  int object_depth = 0, array_depth = 0;
+  bool in_string = false, escaped = false;
+  std::string current;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (escaped) {
+      escaped = false;
+      if (in_string) current += c;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (c == '"') {
+      if (!in_string) {
+        in_string = true;
+        current.clear();
+      } else {
+        in_string = false;
+        // A key iff the next non-string char is ':' at object depth 1.
+        if (object_depth == 1 && array_depth == 0 && i + 1 < line.size() &&
+            line[i + 1] == ':') {
+          keys.push_back(current);
+        }
+      }
+      continue;
+    }
+    if (in_string) {
+      current += c;
+      continue;
+    }
+    if (c == '{') ++object_depth;
+    if (c == '}') --object_depth;
+    if (c == '[') ++array_depth;
+    if (c == ']') --array_depth;
+  }
+  return keys;
+}
+
+/// Extracts an integer field's value; asserts presence.
+long long int_field(const std::string& line, const std::string& name) {
+  const std::string needle = "\"" + name + "\":";
+  const auto pos = line.find(needle);
+  EXPECT_NE(pos, std::string::npos) << name << " missing in " << line;
+  if (pos == std::string::npos) return 0;
+  return std::stoll(line.substr(pos + needle.size()));
+}
+
+struct GoldenRun {
+  GoldenRun() : world(make_config()), recorder(world.fabric()) {
+    workload::MasterWorkerConfig wl;
+    wl.tasks_per_worker = 2;
+    workload::spawn_master_worker(world, wl);
+    report = world.run();
+  }
+
+  static WorldConfig make_config() {
+    WorldConfig config;
+    config.nprocs = 3;
+    config.seed = 42;  // fixed: the golden schedule.
+    return config;
+  }
+
+  World world;
+  MessageRecorder recorder;
+  runtime::RunReport report;
+};
+
+TEST(GoldenTrace, AccessAndRaceSchemasDoNotDrift) {
+  GoldenRun run;
+  ASSERT_TRUE(run.report.completed);
+  ASSERT_GT(run.world.events().size(), 0u);
+  ASSERT_GT(run.world.races().count(), 0u);  // the benign §IV.D race.
+
+  // The golden schemas. Changing to_json is allowed — but only together
+  // with this test, the docs, and every downstream consumer.
+  const std::vector<std::string> access_schema{
+      "kind", "id",  "t",   "rank",        "op",        "home",
+      "area", "offset", "len", "issue_clock", "apply_seq", "apply_clock"};
+  const std::vector<std::string> race_schema{
+      "kind",      "id",          "t",           "accessor",       "op",
+      "home",      "area",        "area_name",   "event",          "prior_event",
+      "accessor_clock", "stored_clock", "against"};
+
+  std::ostringstream out;
+  write_jsonl(out, run.world.events(), run.world.races());
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t access_lines = 0, race_lines = 0;
+  while (std::getline(in, line)) {
+    const auto keys = top_level_keys(line);
+    ASSERT_FALSE(keys.empty()) << line;
+    if (line.find("\"kind\":\"access\"") != std::string::npos) {
+      EXPECT_EQ(keys, access_schema) << line;
+      ++access_lines;
+    } else {
+      EXPECT_EQ(keys, race_schema) << line;
+      ++race_lines;
+    }
+  }
+  EXPECT_EQ(access_lines, run.world.events().size());
+  EXPECT_EQ(race_lines, run.world.races().count());
+}
+
+TEST(GoldenTrace, MessageSchemaDoesNotDrift) {
+  GoldenRun run;
+  ASSERT_GT(run.recorder.size(), 0u);
+  const std::vector<std::string> message_schema{"kind", "type", "src",  "dst",
+                                                "send", "deliver", "op", "bytes"};
+  for (const auto& record : run.recorder.records()) {
+    EXPECT_EQ(top_level_keys(to_json(record)), message_schema);
+  }
+}
+
+TEST(GoldenTrace, FieldValuesAreWellFormed) {
+  GoldenRun run;
+  std::ostringstream out;
+  write_jsonl(out, run.world.events(), run.world.races());
+  std::istringstream in(out.str());
+  std::string line;
+  long long last_access_time = 0, last_access_id = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(balanced_json(line)) << line;
+    const bool is_access = line.find("\"kind\":\"access\"") != std::string::npos;
+    // Ranks valid on every record kind.
+    const long long rank = int_field(line, is_access ? "rank" : "accessor");
+    EXPECT_GE(rank, 0);
+    EXPECT_LT(rank, run.world.nprocs());
+    const long long home = int_field(line, "home");
+    EXPECT_GE(home, 0);
+    EXPECT_LT(home, run.world.nprocs());
+    EXPECT_GE(int_field(line, "t"), 0);
+    if (is_access) {
+      // Events are logged in issue order: ids and times monotone.
+      const long long id = int_field(line, "id");
+      const long long time = int_field(line, "t");
+      EXPECT_GT(id, last_access_id);
+      EXPECT_GE(time, last_access_time);
+      last_access_id = id;
+      last_access_time = time;
+      EXPECT_GT(int_field(line, "len"), 0);
+    } else {
+      // A race names the flagged event; the prior may be 0 (unknown).
+      EXPECT_GT(int_field(line, "event"), 0);
+      EXPECT_GE(int_field(line, "prior_event"), 0);
+    }
+  }
+  // Message records: delivery after send on every wire message.
+  for (const auto& record : run.recorder.records()) {
+    const std::string json = to_json(record);
+    EXPECT_GT(int_field(json, "deliver"), int_field(json, "send"));
+    EXPECT_GE(int_field(json, "src"), 0);
+    EXPECT_LT(int_field(json, "src"), run.world.nprocs());
+    EXPECT_GE(int_field(json, "dst"), 0);
+    EXPECT_LT(int_field(json, "dst"), run.world.nprocs());
+  }
+}
+
+TEST(GoldenTrace, FixedSeedRunIsReproducible) {
+  // The golden run itself must be stable: two constructions, one byte
+  // stream. (If this breaks, determinism broke — not the schema.)
+  GoldenRun a, b;
+  std::ostringstream ja, jb;
+  write_jsonl(ja, a.world.events(), a.world.races());
+  write_jsonl(jb, b.world.events(), b.world.races());
+  EXPECT_EQ(ja.str(), jb.str());
 }
 
 TEST(Trace, MessageJsonRoundsTripFields) {

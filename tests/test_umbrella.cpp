@@ -31,8 +31,12 @@ TEST(Umbrella, EndToEndThroughThePublicApi) {
 
   const auto truth = dsmr::analysis::compute_ground_truth(world.events());
   EXPECT_TRUE(truth.pairs.empty());
+  // The lockset baseline must agree with the zero-race ground truth here:
+  // every rank touches only its own array element, so no area ever leaves
+  // the Eraser exclusive state and no warning may fire.
   const auto lockset = dsmr::baseline::LocksetDetector::analyze(world.events());
-  (void)lockset;
+  EXPECT_TRUE(lockset.warnings.empty());
+  EXPECT_TRUE(lockset.flagged_areas.empty());
   EXPECT_GT(recorder.size(), 0u);
 }
 

@@ -1,0 +1,159 @@
+// dsmr_explore — schedule exploration at scale with differential conformance.
+//
+// Runs a (seed × perturbation) grid for one or more workload scenarios on a
+// thread pool, cross-checking the epoch fast-path detector, the full-vector-
+// clock oracle, the lockset baseline, and offline ground truth on every
+// schedule (analysis/conformance.hpp). Any verdict disagreement fails the
+// process with the reproducing (seed, perturbation) pair, and — with
+// --trace-dir — an exported JSONL + Chrome trace of the exact schedule.
+//
+//   dsmr_explore --list
+//   dsmr_explore [--scenario name[,name...]|all] [--ranks N]
+//                [--seeds N] [--first-seed N] [--threads N]
+//                [--perturbations K] [--perturb-min NS] [--perturb-max NS]
+//                [--json FILE] [--trace-dir DIR] [--verbose]
+//
+// Exit status: 0 when every scenario conforms, 1 on any disagreement.
+//
+// CI runs this as a smoke stage; a reported (seed, perturbation) replays
+// deterministically on any machine (docs/testing.md walks through the loop).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/conformance.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace dsmr;
+
+namespace {
+
+std::vector<std::string> split_names(const std::string& csv) {
+  std::vector<std::string> names;
+  std::stringstream stream(csv);
+  std::string name;
+  while (std::getline(stream, name, ',')) {
+    if (!name.empty()) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv,
+                "[--list] [--scenario name[,name...]|all] [--ranks N] [--seeds N] "
+                "[--first-seed N] [--threads N] [--perturbations K] "
+                "[--perturb-min NS] [--perturb-max NS] [--json FILE] "
+                "[--trace-dir DIR] [--verbose]");
+  const bool list = cli.get_flag("list");
+  const std::string scenario_csv = cli.get_string("scenario", "all");
+  const auto ranks = static_cast<int>(cli.get_int("ranks", 4));
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 32));
+  const auto first_seed = static_cast<std::uint64_t>(cli.get_int("first-seed", 1));
+  const auto threads =
+      static_cast<int>(cli.get_int("threads", util::ThreadPool::hardware_threads()));
+  const auto perturbations = static_cast<std::uint64_t>(cli.get_int("perturbations", 2));
+  const std::int64_t perturb_min_raw = cli.get_int("perturb-min", 0);
+  const std::int64_t perturb_max_raw = cli.get_int("perturb-max", 4'000);
+  if (perturb_min_raw < 0 || perturb_max_raw < 0 || perturb_min_raw > perturb_max_raw) {
+    std::fprintf(stderr, "--perturb-min/--perturb-max must satisfy 0 <= min <= max\n");
+    return 2;
+  }
+  const auto perturb_min = static_cast<sim::Time>(perturb_min_raw);
+  const auto perturb_max = static_cast<sim::Time>(perturb_max_raw);
+  const std::string json_path = cli.get_string("json", "");
+  const std::string trace_dir = cli.get_string("trace-dir", "");
+  const bool verbose = cli.get_flag("verbose");
+  cli.finish();
+
+  if (list) {
+    util::Table table({"scenario", "expect", "description"});
+    for (const auto& scenario : analysis::builtin_scenarios()) {
+      table.add_row({scenario.name, analysis::to_string(scenario.expect),
+                     scenario.description});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+  }
+
+  std::vector<const analysis::Scenario*> selected;
+  if (scenario_csv == "all") {
+    for (const auto& scenario : analysis::builtin_scenarios()) selected.push_back(&scenario);
+  } else {
+    for (const auto& name : split_names(scenario_csv)) {
+      const auto* scenario = analysis::find_scenario(name);
+      if (scenario == nullptr) {
+        std::fprintf(stderr, "unknown --scenario %s (try --list)\n", name.c_str());
+        return 2;
+      }
+      selected.push_back(scenario);
+    }
+  }
+
+  analysis::ConformanceOptions options;
+  options.base.nprocs = ranks;
+  options.first_seed = first_seed;
+  options.seeds = seeds;
+  options.threads = threads;
+  options.trace_dir = trace_dir;
+  // Variant 0 is always the base (unperturbed) schedule; each extra variant
+  // is an independently-salted delay-bound perturbation of the same seed.
+  options.perturbations = {sim::PerturbConfig{}};
+  for (std::uint64_t salt = 1; salt <= perturbations; ++salt) {
+    options.perturbations.push_back(sim::PerturbConfig{perturb_min, perturb_max, salt});
+  }
+
+  std::printf("--- dsmr_explore: %zu scenario(s) × %llu seeds × %zu schedule "
+              "variants on %d thread(s) ---\n",
+              selected.size(), static_cast<unsigned long long>(seeds),
+              options.perturbations.size(), threads);
+
+  std::vector<analysis::ConformanceReport> reports;
+  bool all_passed = true;
+  util::Table table({"scenario", "expect", "schedules", "manifested", "truth",
+                     "deadlocks", "lockset-div", "disagree"});
+  for (const auto* scenario : selected) {
+    auto report = analysis::run_conformance(*scenario, options);
+    all_passed = all_passed && report.passed();
+    table.add_row({report.scenario, analysis::to_string(report.expect),
+                   util::Table::fmt_int(report.runs.size()),
+                   util::Table::fmt_int(report.runs_with_reports),
+                   util::Table::fmt_int(report.runs_with_truth),
+                   util::Table::fmt_int(report.incomplete_runs),
+                   util::Table::fmt_int(report.lockset_divergences),
+                   util::Table::fmt_int(report.disagreements.size())});
+    if (verbose || !report.passed()) std::printf("%s\n", report.render().c_str());
+    reports.push_back(std::move(report));
+  }
+  std::printf("%s", table.render().c_str());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write --json %s\n", json_path.c_str());
+      return 2;
+    }
+    out << "{\"tool\":\"dsmr_explore\",\"ranks\":" << ranks << ",\"seeds\":" << seeds
+        << ",\"first_seed\":" << first_seed << ",\"threads\":" << threads
+        << ",\"variants\":" << options.perturbations.size() << ",\"reports\":[";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      if (i > 0) out << ",";
+      reports[i].write_json(out);
+    }
+    out << "]}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!all_passed) {
+    std::printf("CONFORMANCE FAILURE: replay any disagreement with its (seed, "
+                "perturbation) pair — see docs/testing.md\n");
+    return 1;
+  }
+  std::printf("all scenarios conformant\n");
+  return 0;
+}
