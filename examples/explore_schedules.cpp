@@ -23,11 +23,12 @@ int main(int argc, char** argv) {
                 "[--ranks N] [--seeds N] [--workload histogram|random] [--threads N] "
                 "[--perturbations K] [--perturb-max NS]");
   const auto ranks = static_cast<int>(cli.get_int("ranks", 4));
-  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 20));
+  // get_uint: a negative count must be a loud error, not a 2^64 wrap.
+  const auto seeds = cli.get_uint("seeds", 20);
   const std::string workload = cli.get_string("workload", "histogram");
   const auto threads =
       static_cast<int>(cli.get_int("threads", util::ThreadPool::hardware_threads()));
-  const auto perturbations = static_cast<std::uint64_t>(cli.get_int("perturbations", 2));
+  const auto perturbations = cli.get_uint("perturbations", 2);
   const std::int64_t perturb_max_raw = cli.get_int("perturb-max", 4'000);
   cli.finish();
   if (perturb_max_raw < 0) {
@@ -62,9 +63,7 @@ int main(int argc, char** argv) {
 
   analysis::SweepOptions options;
   options.threads = threads;
-  for (std::uint64_t salt = 1; salt <= perturbations; ++salt) {
-    options.perturbations.push_back(sim::PerturbConfig{0, perturb_max, salt});
-  }
+  options.perturbations = sim::perturb_variants(0, perturb_max, perturbations);
 
   const auto summary = analysis::seed_sweep(base, 1, seeds, spawn, options);
 

@@ -211,6 +211,8 @@ RunVerdicts check_run(runtime::World& world, const runtime::RunReport& report) {
     }
     (replay_mode == core::DetectorMode::kDualClock ? dual_fast : single_fast) = fast;
   }
+  v.dual_flagged = dual_fast.flagged_events.size();
+  v.single_flagged = single_fast.flagged_events.size();
 
   if (mode != core::DetectorMode::kOff) {
     // Invariant 2 — the offline replay of the run's own mode reproduces the
@@ -303,6 +305,9 @@ ConformanceReport run_conformance(const Scenario& scenario,
 
   const std::uint64_t variants = options.perturbations.size();
   const std::uint64_t total = options.seeds * variants;
+  DSMR_REQUIRE(total / variants == options.seeds,
+               "conformance grid size overflows: " << options.seeds << " seeds × "
+                                                   << variants << " variants");
 
   // Fan out: one World per (seed, perturbation), each job writing its
   // pre-assigned slot so aggregation order never depends on thread timing.
@@ -336,7 +341,16 @@ ConformanceReport run_conformance(const Scenario& scenario,
       if (!scenario.may_deadlock) diverge(run, "unexpected-deadlock", "");
       continue;
     }
-    for (const auto& check : run.failed_checks) diverge(run, check, "");
+    for (const auto& check : run.failed_checks) {
+      // failed_checks entries are "name: detail"; split them so the JSON
+      // artifact's check field is a stable name like the grid-level checks.
+      const auto colon = check.find(": ");
+      if (colon == std::string::npos) {
+        diverge(run, check, "");
+      } else {
+        diverge(run, check.substr(0, colon), check.substr(colon + 2));
+      }
+    }
     if (scenario.expect == RaceExpectation::kNever &&
         (run.live_reports > 0 || run.truth_pairs > 0)) {
       std::ostringstream detail;
@@ -439,6 +453,8 @@ void ConformanceReport::write_json(std::ostream& out) const {
         << ",\"truth_pairs\":" << r.truth_pairs << ",\"truth_areas\":" << r.truth_areas
         << ",\"fast_flagged\":" << r.fast_flagged
         << ",\"oracle_flagged\":" << r.oracle_flagged
+        << ",\"dual_flagged\":" << r.dual_flagged
+        << ",\"single_flagged\":" << r.single_flagged
         << ",\"lockset_warnings\":" << r.lockset_warnings << ",\"conformant\":"
         << (r.failed_checks.empty() ? "true" : "false") << "}";
   }

@@ -77,6 +77,8 @@ struct RunVerdicts {
   std::uint64_t truth_areas = 0;
   std::uint64_t fast_flagged = 0;      ///< epoch fast-path replay, run's mode.
   std::uint64_t oracle_flagged = 0;    ///< full-VC oracle replay, run's mode.
+  std::uint64_t dual_flagged = 0;      ///< fast-path replay, dual-clock mode.
+  std::uint64_t single_flagged = 0;    ///< fast-path replay, single-clock mode.
   std::uint64_t lockset_warnings = 0;  ///< Eraser baseline (informational).
   bool lockset_covers_truth = true;    ///< truth racy areas ⊆ lockset flags.
   double area_recall = 1.0;            ///< tracked quality metric, not an invariant.

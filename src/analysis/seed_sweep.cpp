@@ -60,6 +60,9 @@ SweepSummary seed_sweep(const runtime::WorldConfig& base_config,
 
   const std::uint64_t variants = options.perturbations.size();
   const std::uint64_t total = count * variants;
+  DSMR_REQUIRE(total / variants == count, "sweep size overflows: " << count << " seeds × "
+                                                                   << variants
+                                                                   << " variants");
 
   // Fan out: every (seed, perturbation) is one independent pure run writing
   // its pre-assigned slot; with threads == 1 this degenerates to the exact

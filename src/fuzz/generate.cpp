@@ -1,0 +1,239 @@
+#include "fuzz/generate.hpp"
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace dsmr::fuzz {
+
+bool apply_profile(const std::string& name, GenConfig& config) {
+  if (name == "mixed") {
+    // The defaults.
+    config.data_fraction = 0.8;
+    config.write_fraction = 0.55;
+    config.locked_area_fraction = 0.3;
+    config.shared_read_fraction = 0.2;
+    return true;
+  }
+  if (name == "write-heavy") {
+    config.data_fraction = 0.9;
+    config.write_fraction = 0.85;
+    config.locked_area_fraction = 0.2;
+    config.shared_read_fraction = 0.05;
+    return true;
+  }
+  if (name == "read-heavy") {
+    config.data_fraction = 0.9;
+    config.write_fraction = 0.2;
+    config.locked_area_fraction = 0.15;
+    config.shared_read_fraction = 0.5;
+    return true;
+  }
+  if (name == "lock-heavy") {
+    config.data_fraction = 0.85;
+    config.write_fraction = 0.6;
+    config.locked_area_fraction = 0.8;
+    config.shared_read_fraction = 0.05;
+    return true;
+  }
+  if (name == "sync-sparse") {
+    // Long phases, few barriers: stresses within-phase discipline.
+    config.phases = 1;
+    config.max_ops_per_rank = 16;
+    config.data_fraction = 0.85;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> profile_names() {
+  return {"mixed", "write-heavy", "read-heavy", "lock-heavy", "sync-sparse"};
+}
+
+namespace {
+
+/// Per-phase access policy of one area (see generate.hpp header comment).
+struct AreaPolicy {
+  enum Kind : std::uint8_t { kExclusive, kReadShared, kLocked, kIdle } kind = kIdle;
+  int owner = 0;  ///< kExclusive only.
+};
+
+struct Candidate {
+  int area = 0;
+  bool writable = false;
+  bool locked = false;
+};
+
+sim::Time random_duration(util::Rng& rng) {
+  return 100 + static_cast<sim::Time>(rng.below(4000));
+}
+
+Op make_pause(util::Rng& rng) {
+  Op op;
+  op.kind = rng.chance(0.5) ? OpKind::kSleep : OpKind::kCompute;
+  op.duration = random_duration(rng);
+  return op;
+}
+
+}  // namespace
+
+Program generate_program(const GenConfig& config) {
+  // The caps are program.hpp's structural limits: anything generated here
+  // must serialize into a file parse_program accepts back.
+  DSMR_REQUIRE(config.nprocs >= 1 && config.nprocs <= kMaxProcs,
+               "generator ranks out of range [1, " << kMaxProcs << "]");
+  DSMR_REQUIRE(config.areas >= 1 && config.areas <= kMaxAreas,
+               "generator areas out of range [1, " << kMaxAreas << "]");
+  DSMR_REQUIRE(config.area_bytes >= 1 && config.area_bytes <= kMaxAreaBytes,
+               "generator area_bytes out of range [1, " << kMaxAreaBytes << "]");
+  DSMR_REQUIRE(config.phases >= 1 &&
+                   static_cast<std::size_t>(config.phases) <= kMaxPhases,
+               "generator phases out of range [1, " << kMaxPhases << "]");
+  DSMR_REQUIRE(config.max_ops_per_rank >= 1 &&
+                   static_cast<std::size_t>(config.max_ops_per_rank) <= kMaxOpsPerRank,
+               "generator ops per rank out of range [1, " << kMaxOpsPerRank << "]");
+  // Three ranks, not two: the bug area's home must be a *third* rank. The
+  // home node's clock ticks on every application it serves, and the home
+  // process shares that clock — so a pair involving the home rank is
+  // ordered whenever the remote access happens to apply before the home-
+  // side access issues, making the race schedule-dependent. With the home
+  // uninvolved, no clock-merge path into either racy access exists and the
+  // pair is concurrent on every schedule.
+  DSMR_REQUIRE(!config.plant_bug || config.nprocs >= 3,
+               "a planted bug needs >= 3 ranks (owner, victim, and an "
+               "uninvolved home for the bug area)");
+
+  util::Rng rng(util::SplitMix64(config.seed ^ 0xf0220fu).next());
+
+  Program program;
+  program.nprocs = config.nprocs;
+  program.areas = config.areas;
+  program.area_bytes = config.area_bytes;
+  program.expect = config.plant_bug ? Expectation::kRacy : Expectation::kClean;
+
+  // The planted pair (decided up front so the bug area can be kept idle in
+  // every other phase).
+  PlantedBug bug;
+  if (config.plant_bug) {
+    const auto n = static_cast<std::uint64_t>(config.nprocs);
+    // The bug lives in phase 0, which has NO preceding synchronization: a
+    // dissemination barrier is not an instantaneous frontier, so a racy
+    // access issued right after an *entry* barrier can leak to the other
+    // racy rank through a lagging node's still-pending barrier signals and
+    // order the pair on unlucky schedules. Before phase 0 there is nothing
+    // to leak: both racy issue clocks are provably free of foreign
+    // components on every schedule.
+    bug.phase = 0;
+    bug.area = static_cast<int>(rng.below(static_cast<std::uint64_t>(config.areas)));
+    // Owner and victim are two distinct ranks, neither of which is the bug
+    // area's home (see the >= 3 ranks precondition above): two distinct
+    // draws from the n-1 non-home ranks.
+    const auto home = static_cast<std::uint64_t>(bug.area) % n;
+    std::uint64_t k1 = 1 + rng.below(n - 1);
+    std::uint64_t k2 = 1 + rng.below(n - 2);
+    if (k2 >= k1) ++k2;
+    bug.owner = static_cast<int>((home + k1) % n);
+    bug.victim = static_cast<int>((home + k2) % n);
+    bug.victim_kind = rng.chance(0.5) ? core::AccessKind::kWrite : core::AccessKind::kRead;
+    program.planted = bug;
+  }
+
+  for (int ph = 0; ph < config.phases; ++ph) {
+    const bool bug_phase = config.plant_bug && ph == bug.phase;
+
+    // Phase policies. The bug area is idle everywhere; in the bug phase its
+    // accesses are emitted explicitly below, outside every policy. During
+    // the bug phase, areas *homed at* the owner or victim are idle too:
+    // serving any inbound request merges the requester's clock into the
+    // home node's clock (which the home process shares), so traffic into
+    // those nodes could carry knowledge of one racy access to the other and
+    // order the planted pair on some schedules.
+    std::vector<AreaPolicy> policies(static_cast<std::size_t>(config.areas));
+    for (int a = 0; a < config.areas; ++a) {
+      auto& policy = policies[static_cast<std::size_t>(a)];
+      if (config.plant_bug && a == bug.area) {
+        policy.kind = AreaPolicy::kIdle;
+        continue;
+      }
+      if (bug_phase) {
+        const int home = a % config.nprocs;
+        if (home == bug.owner || home == bug.victim) {
+          policy.kind = AreaPolicy::kIdle;
+          continue;
+        }
+      }
+      if (rng.chance(config.locked_area_fraction)) {
+        policy.kind = AreaPolicy::kLocked;
+      } else if (rng.chance(config.shared_read_fraction)) {
+        policy.kind = AreaPolicy::kReadShared;
+      } else {
+        policy.kind = AreaPolicy::kExclusive;
+        policy.owner = static_cast<int>(rng.below(static_cast<std::uint64_t>(config.nprocs)));
+      }
+    }
+
+    Phase phase;
+    for (int r = 0; r < config.nprocs; ++r) {
+      std::vector<Op> ops;
+      const bool racy_rank = bug_phase && (r == bug.owner || r == bug.victim);
+      if (racy_rank) {
+        // The dropped synchronization edge: before its racy access this rank
+        // performs nothing that merges another clock (sleeps only), so no
+        // happens-before path into the access can exist on any schedule.
+        if (r == bug.victim && rng.chance(0.6)) {
+          Op pause;
+          pause.kind = OpKind::kSleep;
+          pause.duration = random_duration(rng);
+          ops.push_back(pause);
+        }
+        Op racy;
+        racy.area = bug.area;
+        racy.kind = r == bug.owner                                   ? OpKind::kPut
+                    : bug.victim_kind == core::AccessKind::kWrite    ? OpKind::kPut
+                                                                     : OpKind::kGet;
+        ops.push_back(racy);
+      }
+
+      // Ordinary discipline-following ops (for racy ranks: after the racy
+      // access, where they can no longer affect the planted pair's clocks).
+      std::vector<Candidate> candidates;
+      for (int a = 0; a < config.areas; ++a) {
+        const auto& policy = policies[static_cast<std::size_t>(a)];
+        switch (policy.kind) {
+          case AreaPolicy::kExclusive:
+            if (policy.owner == r) candidates.push_back({a, true, false});
+            break;
+          case AreaPolicy::kReadShared:
+            candidates.push_back({a, false, false});
+            break;
+          case AreaPolicy::kLocked:
+            candidates.push_back({a, true, true});
+            break;
+          case AreaPolicy::kIdle:
+            break;
+        }
+      }
+      const auto count = 1 + rng.below(static_cast<std::uint64_t>(config.max_ops_per_rank));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        if (candidates.empty() || !rng.chance(config.data_fraction)) {
+          ops.push_back(make_pause(rng));
+          continue;
+        }
+        const auto& candidate = candidates[rng.below(candidates.size())];
+        Op op;
+        op.area = candidate.area;
+        op.locked = candidate.locked;
+        op.kind = candidate.writable && rng.chance(config.write_fraction) ? OpKind::kPut
+                                                                          : OpKind::kGet;
+        ops.push_back(op);
+      }
+      phase.ops.push_back(std::move(ops));
+    }
+    program.phases.push_back(std::move(phase));
+  }
+
+  std::string error;
+  DSMR_CHECK_MSG(validate(program, &error), "generator produced invalid program: " << error);
+  return program;
+}
+
+}  // namespace dsmr::fuzz

@@ -1,0 +1,74 @@
+// Seeded random-program generation with race status decided by construction.
+//
+// Programs come out of a per-phase *discipline* that makes cleanliness a
+// theorem rather than an observation. Each phase assigns every area one
+// policy:
+//
+//  * exclusive(r) — only rank r touches the area this phase (unlocked
+//    reads/writes). Same-rank accesses are program-ordered; cross-phase
+//    accesses are barrier-ordered (puts are acked, so the apply clock
+//    reaches the barrier frontier).
+//  * read-shared  — any rank may read, nobody writes: no conflicting pair.
+//  * locked       — any rank may access, but only under the area's NIC
+//    lock. Handoff (+ acked puts / clock-merging gets) totally orders the
+//    critical sections, so every conflicting pair is ordered.
+//
+// Under the default WorldConfig (dual-clock, acked puts, lock handoff) no
+// schedule of such a program contains a concurrent conflicting pair: the
+// program is CLEAN on every (seed, perturbation).
+//
+// "Planted bug" mode deliberately breaks the discipline once: one dedicated
+// area receives an unlocked write from an `owner` rank and an unlocked
+// access from a `victim` rank. Three structural rules make the pair
+// concurrent on EVERY schedule — which is what lets the fuzz harness
+// *demand* manifestation rather than merely permit it:
+//
+//  1. the bug lives in phase 0 (no preceding barrier: a dissemination
+//     barrier is not an instantaneous frontier, and its in-flight signals
+//     can leak an early finisher's access to the other racy rank through a
+//     lagging node);
+//  2. each racy rank performs nothing but sleeps before its racy access
+//     (no clock-merging operation);
+//  3. during the bug phase no rank touches the bug area or ANY area homed
+//     at the owner, the victim, — serving an inbound request merges the
+//     requester's clock into the home node's clock, so such traffic could
+//     carry one racy access's clock into the other rank — and the bug
+//     area's home is a third rank (>= 3 ranks), because a home-rank party
+//     learns of applications at its own NIC for free.
+//
+// With no possible happens-before path in either direction, both detector
+// modes must flag the pair on every (seed, perturbation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/program.hpp"
+
+namespace dsmr::fuzz {
+
+struct GenConfig {
+  int nprocs = 4;
+  int areas = 6;
+  std::uint32_t area_bytes = 8;
+  int phases = 3;
+  int max_ops_per_rank = 6;           ///< per phase; actual count is 1..max.
+  double data_fraction = 0.8;         ///< else sleep/compute.
+  double write_fraction = 0.55;       ///< among data ops where a write is legal.
+  double locked_area_fraction = 0.3;  ///< areas per phase under the lock policy.
+  double shared_read_fraction = 0.2;  ///< areas per phase that are read-shared.
+  bool plant_bug = false;             ///< drop one synchronization edge.
+  std::uint64_t seed = 1;
+};
+
+/// Named op-mix profiles for the CLI (`dsmr_fuzz --profile`): tweak the
+/// fractions above. Unknown names return false and leave `config` untouched.
+bool apply_profile(const std::string& name, GenConfig& config);
+std::vector<std::string> profile_names();
+
+/// Deterministically generates one program: equal configs (seed included)
+/// produce byte-identical serializations, independent of any global state.
+Program generate_program(const GenConfig& config);
+
+}  // namespace dsmr::fuzz

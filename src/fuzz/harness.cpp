@@ -1,0 +1,211 @@
+#include "fuzz/harness.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/cli.hpp"
+
+namespace dsmr::fuzz {
+
+const char* to_string(Fault fault) {
+  switch (fault) {
+    case Fault::kNone: return "none";
+    case Fault::kDropLiveReports: return "drop-live-reports";
+  }
+  return "?";
+}
+
+std::optional<Fault> parse_fault(const std::string& text) {
+  if (text == "none") return Fault::kNone;
+  if (text == "drop-live-reports") return Fault::kDropLiveReports;
+  return std::nullopt;
+}
+
+std::string check_name(const std::string& check) {
+  return check.substr(0, check.find(':'));
+}
+
+ProgramVerdict check_program(const Program& program, const FuzzCheckOptions& options) {
+  std::string error;
+  DSMR_REQUIRE(validate(program, &error), "check_program: " << error);
+
+  auto shared = std::make_shared<const Program>(program);
+  const auto scenario = to_scenario(shared, options.scenario_name);
+
+  analysis::ConformanceOptions grid;
+  grid.base.nprocs = program.nprocs;
+  // The generator's cleanliness discipline assumes the default detection
+  // regime; a different config would need a different construction proof.
+  DSMR_REQUIRE(grid.base.acked_puts && grid.base.lock_clock_handoff &&
+                   grid.base.mode == core::DetectorMode::kDualClock,
+               "fuzz harness requires the default WorldConfig detection settings");
+  grid.first_seed = options.first_schedule_seed;
+  grid.seeds = options.schedule_seeds;
+  grid.threads = options.threads;
+  grid.perturbations = options.perturbations;
+
+  ProgramVerdict verdict;
+  verdict.report = analysis::run_conformance(scenario, grid);
+  verdict.failures = verdict.report.disagreements;
+
+  // Fuzz-only invariant: a planted pair is concurrent on every schedule,
+  // so every completed run must see it — in ground truth, in both detector
+  // modes' replays, and live (modulo the test-only fault hook).
+  if (program.expect == Expectation::kRacy) {
+    for (const auto& run : verdict.report.runs) {
+      if (!run.completed) continue;  // already an unexpected-deadlock failure.
+      const std::uint64_t live =
+          options.fault == Fault::kDropLiveReports ? 0 : run.live_reports;
+      std::ostringstream detail;
+      detail << "truth=" << run.truth_pairs << " dual=" << run.dual_flagged
+             << " single=" << run.single_flagged << " live=" << live;
+      if (run.truth_pairs == 0) {
+        // The construction guarantee itself broke: the planted pair is not
+        // concurrent on this schedule. A distinct check from the detector
+        // one — it indicts the generator, and it is deliberately NOT a
+        // useful shrink target (every raceless racy-expected candidate
+        // fires it, so minimization would degenerate to the empty program).
+        verdict.failures.push_back(analysis::Divergence{
+            scenario.name, run.seed, run.perturb, "planted-race-vanished",
+            detail.str(), "", ""});
+      } else if (run.dual_flagged == 0 || run.single_flagged == 0 || live == 0) {
+        // The race exists in ground truth but a detector layer stayed
+        // silent. Shrinking preserves "has a race AND a layer misses it".
+        verdict.failures.push_back(analysis::Divergence{
+            scenario.name, run.seed, run.perturb, "planted-bug-not-detected",
+            detail.str(), "", ""});
+      }
+    }
+  }
+  return verdict;
+}
+
+// ---------------------------------------------------------------------------
+// Repro files
+// ---------------------------------------------------------------------------
+
+std::string serialize_repro(const Repro& repro) {
+  DSMR_REQUIRE(!repro.check.empty(), "repro needs the fired check's name");
+  std::ostringstream out;
+  out << "dsmr-fuzz-repro v1\n";
+  out << "check " << repro.check << "\n";
+  out << "fault " << to_string(repro.fault) << "\n";
+  out << "program_seed " << repro.program_seed << "\n";
+  out << "schedule_seed " << repro.schedule_seed << "\n";
+  out << "perturb " << repro.perturb.min_skew_ns << " " << repro.perturb.max_skew_ns
+      << " " << repro.perturb.salt << "\n";
+  out << "shrunk " << (repro.shrunk ? 1 : 0) << "\n";
+  out << serialize(repro.program);
+  return out.str();
+}
+
+std::optional<Repro> parse_repro(const std::string& text, std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  auto fail = [error, &line_no](const std::string& what) -> std::optional<Repro> {
+    if (error != nullptr) *error = "repro line " + std::to_string(line_no) + ": " + what;
+    return std::nullopt;
+  };
+  auto next_line = [&in, &line, &line_no]() {
+    if (!std::getline(in, line)) {
+      line.clear();
+      return false;
+    }
+    ++line_no;
+    return true;
+  };
+  auto field = [&line](const std::string& key) -> std::optional<std::string> {
+    if (line.rfind(key + " ", 0) != 0) return std::nullopt;
+    return line.substr(key.size() + 1);
+  };
+
+  if (!next_line() || line != "dsmr-fuzz-repro v1") {
+    return fail("expected header 'dsmr-fuzz-repro v1'");
+  }
+  Repro repro;
+  if (!next_line()) return fail("truncated");
+  const auto check = field("check");
+  if (!check || check->empty()) return fail("expected 'check <name>'");
+  repro.check = *check;
+
+  if (!next_line()) return fail("truncated");
+  const auto fault_text = field("fault");
+  if (!fault_text) return fail("expected 'fault <mode>'");
+  const auto fault = parse_fault(*fault_text);
+  if (!fault) return fail("unknown fault '" + *fault_text + "'");
+  repro.fault = *fault;
+
+  using SeedField = std::pair<const char*, std::uint64_t*>;
+  for (const auto& [key, out] : {SeedField{"program_seed", &repro.program_seed},
+                                 SeedField{"schedule_seed", &repro.schedule_seed}}) {
+    if (!next_line()) return fail("truncated");
+    const auto value_text = field(key);
+    if (!value_text) return fail(std::string("expected '") + key + " N'");
+    const auto value = util::parse_u64(*value_text);
+    if (!value) return fail(std::string("bad ") + key + " '" + *value_text + "'");
+    *out = *value;
+  }
+
+  if (!next_line()) return fail("truncated");
+  const auto perturb_text = field("perturb");
+  if (!perturb_text) return fail("expected 'perturb <min> <max> <salt>'");
+  {
+    std::istringstream fields(*perturb_text);
+    std::string min_text, max_text, salt_text, extra;
+    if (!(fields >> min_text >> max_text >> salt_text) || (fields >> extra)) {
+      return fail("perturb needs exactly: min max salt");
+    }
+    const auto min = util::parse_u64(min_text);
+    const auto max = util::parse_u64(max_text);
+    const auto salt = util::parse_u64(salt_text);
+    if (!min || !max || !salt || *min > *max) return fail("bad perturb bounds");
+    repro.perturb = sim::PerturbConfig{static_cast<sim::Time>(*min),
+                                       static_cast<sim::Time>(*max), *salt};
+  }
+
+  if (!next_line()) return fail("truncated");
+  const auto shrunk_text = field("shrunk");
+  if (!shrunk_text || (*shrunk_text != "0" && *shrunk_text != "1")) {
+    return fail("expected 'shrunk 0|1'");
+  }
+  repro.shrunk = *shrunk_text == "1";
+
+  // The rest of the file is the program's own canonical serialization.
+  std::string program_text;
+  while (std::getline(in, line)) program_text += line + "\n";
+  std::string program_error;
+  auto program = parse_program(program_text, &program_error);
+  if (!program) return fail(program_error);
+  repro.program = std::move(*program);
+  return repro;
+}
+
+std::vector<std::string> replay_repro(const Repro& repro, int threads) {
+  FuzzCheckOptions options;
+  options.first_schedule_seed = repro.schedule_seed;
+  options.schedule_seeds = 1;
+  options.threads = threads;
+  options.perturbations = {repro.perturb};
+  options.fault = repro.fault;
+  options.scenario_name = "replay";
+  const auto verdict = check_program(repro.program, options);
+  std::vector<std::string> fired;
+  for (const auto& failure : verdict.failures) {
+    const auto name = check_name(failure.check);
+    if (std::find(fired.begin(), fired.end(), name) == fired.end()) {
+      fired.push_back(name);
+    }
+  }
+  return fired;
+}
+
+bool reproduces(const Repro& repro, int threads) {
+  const auto fired = replay_repro(repro, threads);
+  return std::find(fired.begin(), fired.end(), repro.check) != fired.end();
+}
+
+}  // namespace dsmr::fuzz

@@ -1,0 +1,100 @@
+// Fuzz harness: one generated program through the full differential
+// conformance grid, plus the fuzz-only invariants its construction allows.
+//
+// A generated program is registered as a first-class analysis::Scenario and
+// run through analysis::run_conformance, so every (schedule seed ×
+// perturbation) gets the complete cross-check stack (epoch fast path vs
+// full-VC oracle, live vs replay, precision, cross-mode writes). On top,
+// the generator's construction guarantees are checked per schedule:
+//
+//  * clean programs must produce zero reports and zero truth pairs
+//    (conformance's race-in-clean-scenario invariant covers this);
+//  * planted-bug programs must manifest on EVERY schedule, in ground truth
+//    and in BOTH detector modes — the planted pair is concurrent by
+//    construction (fuzz/generate.hpp), so a silent schedule is a detector
+//    bug, reported as the `planted-bug-not-detected` check.
+//
+// A test-only fault hook (`Fault`) deliberately breaks the harness's view
+// of the detector so CI can exercise the failure → shrink → repro → replay
+// loop end-to-end without a real detector bug.
+//
+// Failing coordinates serialize into a self-contained repro file (program
+// text + schedule coordinate + fired check) that `dsmr_fuzz --replay`
+// re-runs bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/conformance.hpp"
+#include "fuzz/program.hpp"
+#include "sim/perturb.hpp"
+
+namespace dsmr::fuzz {
+
+/// Test-only fault injection into the harness's detector view.
+enum class Fault : std::uint8_t {
+  kNone,
+  /// Pretend the live detector stayed silent: every planted-bug schedule
+  /// then violates planted-bug-not-detected. Forces the repro loop.
+  kDropLiveReports,
+};
+const char* to_string(Fault fault);
+std::optional<Fault> parse_fault(const std::string& text);
+
+struct FuzzCheckOptions {
+  std::uint64_t first_schedule_seed = 1;
+  std::uint64_t schedule_seeds = 3;
+  int threads = 1;
+  /// Keep the identity perturbation first (as the conformance grid does).
+  std::vector<sim::PerturbConfig> perturbations{sim::PerturbConfig{}};
+  Fault fault = Fault::kNone;
+  std::string scenario_name = "fuzz";
+};
+
+struct ProgramVerdict {
+  analysis::ConformanceReport report;
+  /// Conformance disagreements plus fuzz-invariant violations, each with
+  /// its reproducing (schedule seed, perturbation).
+  std::vector<analysis::Divergence> failures;
+
+  bool passed() const { return failures.empty(); }
+};
+
+/// Runs the program across the grid and evaluates every invariant. The
+/// World uses default detection settings (dual-clock, acked puts, lock
+/// handoff) — the regime the generator's cleanliness proof assumes.
+ProgramVerdict check_program(const Program& program, const FuzzCheckOptions& options);
+
+/// The stable leading name of a divergence check ("precision: 3/4 ..." →
+/// "precision"); repro files record names, not details.
+std::string check_name(const std::string& check);
+
+// ---------------------------------------------------------------------------
+// Repro files
+// ---------------------------------------------------------------------------
+
+/// A self-contained failing coordinate: program + schedule + fired check.
+struct Repro {
+  std::string check;               ///< normalized check name.
+  Fault fault = Fault::kNone;      ///< fault hook active when found.
+  std::uint64_t program_seed = 0;  ///< generator provenance (0 = handwritten).
+  std::uint64_t schedule_seed = 1;
+  sim::PerturbConfig perturb{};
+  bool shrunk = false;
+  Program program;
+};
+
+std::string serialize_repro(const Repro& repro);
+std::optional<Repro> parse_repro(const std::string& text, std::string* error = nullptr);
+
+/// Re-runs the repro's single schedule under its recorded fault hook.
+/// Returns the normalized names of every check that fired (empty = clean).
+std::vector<std::string> replay_repro(const Repro& repro, int threads = 1);
+
+/// True when replaying reproduces the recorded check.
+bool reproduces(const Repro& repro, int threads = 1);
+
+}  // namespace dsmr::fuzz

@@ -1,0 +1,390 @@
+#include "fuzz/program.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <sstream>
+
+#include "pgas/collectives.hpp"
+#include "util/assert.hpp"
+#include "util/cli.hpp"
+
+namespace dsmr::fuzz {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kPut: return "put";
+    case OpKind::kGet: return "get";
+    case OpKind::kSleep: return "sleep";
+    case OpKind::kCompute: return "compute";
+  }
+  return "?";
+}
+
+const char* to_string(Expectation e) {
+  switch (e) {
+    case Expectation::kClean: return "clean";
+    case Expectation::kRacy: return "racy";
+  }
+  return "?";
+}
+
+std::size_t Program::op_count() const {
+  std::size_t count = 0;
+  for (const auto& phase : phases) {
+    for (const auto& ops : phase.ops) count += ops.size();
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+bool validate(const Program& program, std::string* error) {
+  auto fail = [error](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  if (program.nprocs < 1 || program.nprocs > kMaxProcs) {
+    return fail("nprocs out of range [1, " + std::to_string(kMaxProcs) + "]");
+  }
+  if (program.areas < 1 || program.areas > kMaxAreas) {
+    return fail("areas out of range [1, " + std::to_string(kMaxAreas) + "]");
+  }
+  if (program.area_bytes == 0 || program.area_bytes > kMaxAreaBytes) {
+    return fail("area_bytes out of range [1, " + std::to_string(kMaxAreaBytes) + "]");
+  }
+  if (program.phases.size() > kMaxPhases) return fail("too many phases");
+  for (std::size_t p = 0; p < program.phases.size(); ++p) {
+    const auto& phase = program.phases[p];
+    if (phase.ops.size() != static_cast<std::size_t>(program.nprocs)) {
+      return fail("phase " + std::to_string(p) + " has " +
+                  std::to_string(phase.ops.size()) + " op rows for " +
+                  std::to_string(program.nprocs) + " ranks");
+    }
+    for (const auto& ops : phase.ops) {
+      if (ops.size() > kMaxOpsPerRank) return fail("too many ops in one rank row");
+      for (const auto& op : ops) {
+        const bool data = op.kind == OpKind::kPut || op.kind == OpKind::kGet;
+        if (data && (op.area < 0 || op.area >= program.areas)) {
+          return fail("op targets area " + std::to_string(op.area) + " of " +
+                      std::to_string(program.areas));
+        }
+        if (!data && op.locked) return fail("sleep/compute ops cannot be locked");
+        if (!data && op.duration > kMaxDuration) return fail("duration out of range");
+      }
+    }
+  }
+  if (program.planted.has_value()) {
+    const auto& bug = *program.planted;
+    if (bug.phase < 0 || static_cast<std::size_t>(bug.phase) >= program.phases.size() ||
+        bug.area < 0 || bug.area >= program.areas || bug.owner < 0 ||
+        bug.owner >= program.nprocs || bug.victim < 0 || bug.victim >= program.nprocs ||
+        bug.owner == bug.victim) {
+      return fail("planted-bug coordinates out of range");
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Canonical serialization
+// ---------------------------------------------------------------------------
+
+std::string serialize(const Program& program) {
+  std::string error;
+  DSMR_REQUIRE(validate(program, &error), "serialize of invalid program: " << error);
+  std::ostringstream out;
+  out << "dsmr-program v1\n";
+  out << "nprocs " << program.nprocs << "\n";
+  out << "areas " << program.areas << "\n";
+  out << "area_bytes " << program.area_bytes << "\n";
+  out << "expect " << to_string(program.expect) << "\n";
+  if (program.planted.has_value()) {
+    const auto& bug = *program.planted;
+    out << "planted " << bug.phase << " " << bug.area << " " << bug.owner << " "
+        << bug.victim << " " << (bug.victim_kind == core::AccessKind::kWrite ? "W" : "R")
+        << "\n";
+  }
+  out << "phases " << program.phases.size() << "\n";
+  for (std::size_t p = 0; p < program.phases.size(); ++p) {
+    out << "phase " << p << "\n";
+    const auto& phase = program.phases[p];
+    for (std::size_t r = 0; r < phase.ops.size(); ++r) {
+      out << "rank " << r << " " << phase.ops[r].size() << "\n";
+      for (const auto& op : phase.ops[r]) {
+        switch (op.kind) {
+          case OpKind::kPut:
+          case OpKind::kGet:
+            out << to_string(op.kind) << " " << op.area << " " << (op.locked ? "l" : "u")
+                << "\n";
+            break;
+          case OpKind::kSleep:
+          case OpKind::kCompute:
+            out << to_string(op.kind) << " " << op.duration << "\n";
+            break;
+        }
+      }
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+namespace {
+
+/// Splits one line into whitespace-delimited tokens.
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  return tokens;
+}
+
+}  // namespace
+
+std::optional<Program> parse_program(const std::string& text, std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  auto fail = [error, &line_no](const std::string& what) -> std::optional<Program> {
+    if (error != nullptr) {
+      *error = "program line " + std::to_string(line_no) + ": " + what;
+    }
+    return std::nullopt;
+  };
+  auto next_tokens = [&in, &line, &line_no]() {
+    while (std::getline(in, line)) {
+      ++line_no;
+      const auto toks = tokens_of(line);
+      if (!toks.empty()) return toks;  // skip blank lines.
+    }
+    // EOF: keep line_no at the last line read so truncation errors point
+    // at where the text actually stopped.
+    return std::vector<std::string>{};
+  };
+  auto want_u64 = [](const std::string& tok) { return util::parse_u64(tok); };
+
+  auto toks = next_tokens();
+  if (toks.size() != 2 || toks[0] != "dsmr-program" || toks[1] != "v1") {
+    return fail("expected header 'dsmr-program v1'");
+  }
+
+  Program program;
+  program.phases.clear();
+  std::uint64_t declared_phases = 0;
+  // Fixed-order scalar fields.
+  struct Field {
+    const char* name;
+    std::uint64_t min;
+    std::uint64_t max;
+    std::uint64_t* out;
+  };
+  std::uint64_t nprocs = 0, areas = 0, area_bytes = 0;
+  for (const Field field :
+       {Field{"nprocs", 1, static_cast<std::uint64_t>(kMaxProcs), &nprocs},
+        Field{"areas", 1, static_cast<std::uint64_t>(kMaxAreas), &areas},
+        Field{"area_bytes", 1, kMaxAreaBytes, &area_bytes}}) {
+    toks = next_tokens();
+    if (toks.size() != 2 || toks[0] != field.name) {
+      return fail(std::string("expected '") + field.name + " N'");
+    }
+    const auto value = want_u64(toks[1]);
+    if (!value || *value < field.min || *value > field.max) {
+      return fail(std::string(field.name) + " out of range: " + toks[1]);
+    }
+    *field.out = *value;
+  }
+  program.nprocs = static_cast<int>(nprocs);
+  program.areas = static_cast<int>(areas);
+  program.area_bytes = static_cast<std::uint32_t>(area_bytes);
+
+  toks = next_tokens();
+  if (toks.size() != 2 || toks[0] != "expect") return fail("expected 'expect clean|racy'");
+  if (toks[1] == "clean") {
+    program.expect = Expectation::kClean;
+  } else if (toks[1] == "racy") {
+    program.expect = Expectation::kRacy;
+  } else {
+    return fail("unknown expectation '" + toks[1] + "'");
+  }
+
+  toks = next_tokens();
+  if (!toks.empty() && toks[0] == "planted") {
+    if (toks.size() != 6) return fail("planted needs: phase area owner victim W|R");
+    PlantedBug bug;
+    std::array<int*, 4> fields = {&bug.phase, &bug.area, &bug.owner, &bug.victim};
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      const auto value = want_u64(toks[i + 1]);
+      if (!value || *value > static_cast<std::uint64_t>(kMaxAreas)) {
+        return fail("bad planted field '" + toks[i + 1] + "'");
+      }
+      *fields[i] = static_cast<int>(*value);
+    }
+    if (toks[5] == "W") {
+      bug.victim_kind = core::AccessKind::kWrite;
+    } else if (toks[5] == "R") {
+      bug.victim_kind = core::AccessKind::kRead;
+    } else {
+      return fail("planted kind must be W or R");
+    }
+    program.planted = bug;
+    toks = next_tokens();
+  }
+
+  if (toks.size() != 2 || toks[0] != "phases") return fail("expected 'phases N'");
+  {
+    const auto value = want_u64(toks[1]);
+    if (!value || *value > kMaxPhases) return fail("phase count out of range: " + toks[1]);
+    declared_phases = *value;
+  }
+
+  for (std::uint64_t p = 0; p < declared_phases; ++p) {
+    toks = next_tokens();
+    if (toks.size() != 2 || toks[0] != "phase" || want_u64(toks[1]) != p) {
+      return fail("expected 'phase " + std::to_string(p) + "'");
+    }
+    Phase phase;
+    for (int r = 0; r < program.nprocs; ++r) {
+      toks = next_tokens();
+      if (toks.size() != 3 || toks[0] != "rank" ||
+          want_u64(toks[1]) != static_cast<std::uint64_t>(r)) {
+        return fail("expected 'rank " + std::to_string(r) + " <op-count>'");
+      }
+      const auto count = want_u64(toks[2]);
+      if (!count || *count > kMaxOpsPerRank) return fail("op count out of range: " + toks[2]);
+      std::vector<Op> ops;
+      ops.reserve(*count);
+      for (std::uint64_t i = 0; i < *count; ++i) {
+        toks = next_tokens();
+        if (toks.empty()) return fail("unexpected end of program");
+        Op op;
+        if (toks[0] == "put" || toks[0] == "get") {
+          if (toks.size() != 3 || (toks[2] != "l" && toks[2] != "u")) {
+            return fail("expected '" + toks[0] + " <area> l|u'");
+          }
+          const auto area = want_u64(toks[1]);
+          if (!area || *area >= static_cast<std::uint64_t>(program.areas)) {
+            return fail("op area out of range: " + toks[1]);
+          }
+          op.kind = toks[0] == "put" ? OpKind::kPut : OpKind::kGet;
+          op.area = static_cast<int>(*area);
+          op.locked = toks[2] == "l";
+        } else if (toks[0] == "sleep" || toks[0] == "compute") {
+          if (toks.size() != 2) return fail("expected '" + toks[0] + " <ns>'");
+          const auto ns = want_u64(toks[1]);
+          if (!ns || *ns > static_cast<std::uint64_t>(kMaxDuration)) {
+            return fail("duration out of range: " + toks[1]);
+          }
+          op.kind = toks[0] == "sleep" ? OpKind::kSleep : OpKind::kCompute;
+          op.duration = static_cast<sim::Time>(*ns);
+        } else {
+          return fail("unknown op '" + toks[0] + "'");
+        }
+        ops.push_back(op);
+      }
+      phase.ops.push_back(std::move(ops));
+    }
+    program.phases.push_back(std::move(phase));
+  }
+
+  toks = next_tokens();
+  if (toks.size() != 1 || toks[0] != "end") return fail("expected trailing 'end'");
+  if (!next_tokens().empty()) return fail("trailing content after 'end'");
+
+  std::string structural;
+  if (!validate(program, &structural)) return fail(structural);
+  return program;
+}
+
+// ---------------------------------------------------------------------------
+// World spawning
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using runtime::Process;
+using runtime::World;
+
+sim::Task program_task(Process& p, std::shared_ptr<const Program> program,
+                       std::vector<mem::GlobalAddress> areas) {
+  pgas::Team team(p);
+  const auto rank = static_cast<std::size_t>(p.rank());
+  // Deterministic payload stamp; the value itself never affects detection.
+  std::uint64_t stamp = (static_cast<std::uint64_t>(p.rank()) + 1) << 32;
+  for (std::size_t ph = 0; ph < program->phases.size(); ++ph) {
+    if (ph > 0) co_await team.barrier();
+    for (const Op& op : program->phases[ph].ops[rank]) {
+      switch (op.kind) {
+        case OpKind::kPut: {
+          if (op.locked) co_await p.lock(areas[static_cast<std::size_t>(op.area)]);
+          std::vector<std::byte> bytes(program->area_bytes, std::byte{0});
+          ++stamp;
+          std::memcpy(bytes.data(), &stamp, std::min(sizeof(stamp), bytes.size()));
+          co_await p.put(areas[static_cast<std::size_t>(op.area)], bytes);
+          if (op.locked) co_await p.unlock(areas[static_cast<std::size_t>(op.area)]);
+          break;
+        }
+        case OpKind::kGet:
+          if (op.locked) co_await p.lock(areas[static_cast<std::size_t>(op.area)]);
+          co_await p.get(areas[static_cast<std::size_t>(op.area)], program->area_bytes);
+          if (op.locked) co_await p.unlock(areas[static_cast<std::size_t>(op.area)]);
+          break;
+        case OpKind::kSleep:
+          co_await p.sleep(op.duration);
+          break;
+        case OpKind::kCompute:
+          co_await p.compute(op.duration);
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ProgramHandles spawn_program(World& world, std::shared_ptr<const Program> program) {
+  DSMR_REQUIRE(program != nullptr, "spawn_program needs a program");
+  std::string error;
+  DSMR_REQUIRE(validate(*program, &error), "spawn of invalid program: " << error);
+  DSMR_REQUIRE(world.nprocs() == program->nprocs,
+               "program generated for " << program->nprocs << " ranks, world has "
+                                        << world.nprocs());
+  ProgramHandles handles;
+  for (int a = 0; a < program->areas; ++a) {
+    const Rank home = static_cast<Rank>(a % program->nprocs);
+    handles.areas.push_back(
+        world.alloc(home, program->area_bytes, "fz" + std::to_string(a)));
+  }
+  for (Rank r = 0; r < world.nprocs(); ++r) {
+    world.spawn(r, [program, areas = handles.areas](Process& p) {
+      return program_task(p, program, areas);
+    });
+  }
+  return handles;
+}
+
+analysis::Scenario to_scenario(std::shared_ptr<const Program> program,
+                               std::string name) {
+  DSMR_REQUIRE(program != nullptr, "to_scenario needs a program");
+  analysis::Scenario scenario;
+  scenario.name = std::move(name);
+  scenario.description = "generated fuzz program (" + std::to_string(program->nprocs) +
+                         " ranks, " + std::to_string(program->areas) + " areas, " +
+                         std::to_string(program->op_count()) + " ops, expect " +
+                         to_string(program->expect) + ")";
+  // A planted racy pair is concurrent on every schedule (see generate.hpp),
+  // but conformance's own grid-level expectation only distinguishes
+  // never/sometimes; the stronger "manifests everywhere" invariant lives in
+  // fuzz::check_program.
+  scenario.expect = program->expect == Expectation::kClean
+                        ? analysis::RaceExpectation::kNever
+                        : analysis::RaceExpectation::kSometimes;
+  scenario.min_ranks = program->nprocs;
+  scenario.spawn = [program](runtime::World& world) { spawn_program(world, program); };
+  return scenario;
+}
+
+}  // namespace dsmr::fuzz

@@ -1,0 +1,127 @@
+// The fuzzer's program IR: a barrier-phased PGAS workload with computable
+// ground truth.
+//
+// A Program is a list of *phases*; a global dissemination barrier separates
+// consecutive phases, and within a phase each rank runs a straight-line
+// sequence of ops (unlocked/locked puts and gets over shared areas, sleeps,
+// local compute). The representation is chosen so that structural edits are
+// always valid programs:
+//
+//  * barriers are phase boundaries, never per-rank ops — a shrinker cannot
+//    unbalance them into a deadlock;
+//  * a locked access is ONE op (acquire → access → release, non-nested) —
+//    removing any op never orphans a lock;
+//  * sleeps/computes carry no ordering semantics beyond the local clock.
+//
+// Race status is decidable by construction (fuzz/generate.hpp): clean
+// programs follow a per-phase ownership/lock discipline that admits no
+// concurrent conflicting pair on any schedule, and planted-bug programs
+// contain one conflicting pair whose two sides perform no clock-merging op
+// between the preceding barrier and the access — so the pair is concurrent
+// on *every* schedule and both detector modes must flag it.
+//
+// The canonical text serialization (`serialize`/`parse`) is the repro-file
+// payload: byte-identical for equal programs, diffable, and strict to parse.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/conformance.hpp"
+#include "core/types.hpp"
+#include "mem/global_address.hpp"
+#include "runtime/world.hpp"
+#include "sim/time.hpp"
+
+namespace dsmr::fuzz {
+
+enum class OpKind : std::uint8_t { kPut, kGet, kSleep, kCompute };
+const char* to_string(OpKind kind);
+
+// Structural caps shared by validate() and parse_program(): everything the
+// generator emits and serialize() writes stays parseable, so a repro file
+// can never be rejected by its own --replay.
+inline constexpr int kMaxProcs = 1024;
+inline constexpr int kMaxAreas = 1 << 20;
+inline constexpr std::uint32_t kMaxAreaBytes = 1 << 16;
+inline constexpr std::size_t kMaxPhases = 4096;
+inline constexpr std::size_t kMaxOpsPerRank = 1 << 20;
+inline constexpr sim::Time kMaxDuration = 1'000'000'000;  ///< 1 virtual second.
+
+struct Op {
+  OpKind kind = OpKind::kSleep;
+  int area = 0;             ///< put/get target (index into the program's areas).
+  bool locked = false;      ///< put/get wrapped in the target area's NIC lock.
+  sim::Time duration = 0;   ///< sleep/compute length in virtual ns.
+
+  bool operator==(const Op&) const = default;
+};
+
+struct Phase {
+  /// ops[rank] is that rank's straight-line program for the phase.
+  std::vector<std::vector<Op>> ops;
+
+  bool operator==(const Phase&) const = default;
+};
+
+/// What the generator promises about the program across all schedules.
+enum class Expectation : std::uint8_t { kClean, kRacy };
+const char* to_string(Expectation e);
+
+/// Provenance of a planted bug: the deliberately unsynchronized conflicting
+/// pair. Informational — shrinking drops it (the shrunk program's status is
+/// re-established behaviorally by the harness, not by this note).
+struct PlantedBug {
+  int phase = 0;
+  int area = 0;
+  int owner = 0;               ///< rank whose write is one side of the pair.
+  int victim = 0;              ///< rank whose access is the other side.
+  core::AccessKind victim_kind = core::AccessKind::kWrite;
+
+  bool operator==(const PlantedBug&) const = default;
+};
+
+struct Program {
+  int nprocs = 2;
+  int areas = 1;                    ///< area a is homed at rank a % nprocs.
+  std::uint32_t area_bytes = 8;
+  Expectation expect = Expectation::kClean;
+  std::optional<PlantedBug> planted;
+  std::vector<Phase> phases;
+
+  bool operator==(const Program&) const = default;
+
+  /// Total ops across all phases and ranks (the shrinker's size metric).
+  std::size_t op_count() const;
+};
+
+/// Canonical text form; equal programs serialize byte-identically.
+std::string serialize(const Program& program);
+
+/// Strict inverse of serialize. On malformed input returns nullopt and
+/// stores a line-numbered message in *error.
+std::optional<Program> parse_program(const std::string& text, std::string* error = nullptr);
+
+/// Validates structural invariants (rank/area indices in range, positive
+/// sizes, one op row per rank per phase). Serialize/spawn require this.
+bool validate(const Program& program, std::string* error = nullptr);
+
+struct ProgramHandles {
+  std::vector<mem::GlobalAddress> areas;
+};
+
+/// Allocates the program's areas and installs one coroutine per rank on a
+/// not-yet-run World (world.nprocs() must equal program->nprocs).
+ProgramHandles spawn_program(runtime::World& world,
+                             std::shared_ptr<const Program> program);
+
+/// Wraps a generated program as a first-class conformance scenario, so the
+/// full differential cross-check (analysis::run_conformance) applies to it
+/// exactly as to the built-in workloads.
+analysis::Scenario to_scenario(std::shared_ptr<const Program> program,
+                               std::string name);
+
+}  // namespace dsmr::fuzz

@@ -1,0 +1,161 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace dsmr::fuzz {
+
+namespace {
+
+Program without_phase(const Program& program, std::size_t phase) {
+  Program candidate = program;
+  candidate.phases.erase(candidate.phases.begin() + static_cast<std::ptrdiff_t>(phase));
+  return candidate;
+}
+
+Program without_rank(const Program& program, std::size_t rank) {
+  Program candidate = program;
+  candidate.nprocs -= 1;
+  for (auto& phase : candidate.phases) {
+    phase.ops.erase(phase.ops.begin() + static_cast<std::ptrdiff_t>(rank));
+  }
+  return candidate;
+}
+
+/// Flat coordinates of every op, in (phase, rank, index) order.
+struct OpRef {
+  std::size_t phase, rank, index;
+};
+
+std::vector<OpRef> flatten(const Program& program) {
+  std::vector<OpRef> refs;
+  for (std::size_t p = 0; p < program.phases.size(); ++p) {
+    const auto& phase = program.phases[p];
+    for (std::size_t r = 0; r < phase.ops.size(); ++r) {
+      for (std::size_t i = 0; i < phase.ops[r].size(); ++i) refs.push_back({p, r, i});
+    }
+  }
+  return refs;
+}
+
+/// Removes the ops at refs[first, first+count); refs must be flatten()'s
+/// order so per-rank indices can be erased back-to-front safely.
+Program without_ops(const Program& program, const std::vector<OpRef>& refs,
+                    std::size_t first, std::size_t count) {
+  Program candidate = program;
+  for (std::size_t i = first + count; i-- > first;) {
+    const auto& ref = refs[i];
+    auto& ops = candidate.phases[ref.phase].ops[ref.rank];
+    ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(ref.index));
+  }
+  return candidate;
+}
+
+/// Drops areas no op references and renumbers the survivors.
+Program compact_areas(const Program& program) {
+  std::set<int> used;
+  for (const auto& phase : program.phases) {
+    for (const auto& ops : phase.ops) {
+      for (const auto& op : ops) {
+        if (op.kind == OpKind::kPut || op.kind == OpKind::kGet) used.insert(op.area);
+      }
+    }
+  }
+  if (used.empty() || static_cast<int>(used.size()) == program.areas) return program;
+  std::vector<int> remap(static_cast<std::size_t>(program.areas), -1);
+  int next = 0;
+  for (const int area : used) remap[static_cast<std::size_t>(area)] = next++;
+  Program candidate = program;
+  candidate.areas = next;
+  for (auto& phase : candidate.phases) {
+    for (auto& ops : phase.ops) {
+      for (auto& op : ops) {
+        if (op.kind == OpKind::kPut || op.kind == OpKind::kGet) {
+          op.area = remap[static_cast<std::size_t>(op.area)];
+        }
+      }
+    }
+  }
+  return candidate;
+}
+
+}  // namespace
+
+ShrinkResult shrink_program(const Program& initial, const StillFails& still_fails,
+                            const ShrinkOptions& options) {
+  std::string error;
+  DSMR_REQUIRE(validate(initial, &error), "shrink of invalid program: " << error);
+
+  ShrinkResult result;
+  result.program = initial;
+  result.initial_ops = initial.op_count();
+  result.final_ops = result.initial_ops;
+
+  auto budget_left = [&result, &options]() { return result.attempts < options.max_attempts; };
+  auto try_candidate = [&result, &still_fails, &budget_left](Program candidate) {
+    if (!budget_left()) return false;
+    // A structural edit invalidates the planted-bug provenance coordinates
+    // (and may leave them out of range); the behavioral predicate is the
+    // only source of truth for a shrink candidate.
+    candidate.planted.reset();
+    ++result.attempts;
+    if (!still_fails(candidate)) return false;
+    result.program = std::move(candidate);
+    result.changed = true;
+    return true;
+  };
+
+  // A program that does not fail shrinks to itself.
+  ++result.attempts;
+  if (!still_fails(initial)) return result;
+
+  bool progress = true;
+  while (progress && budget_left()) {
+    progress = false;
+
+    // 1. Whole phases, last first (later phases are likelier to be noise
+    //    after the failure manifested).
+    for (std::size_t p = result.program.phases.size(); p-- > 0;) {
+      if (result.program.phases.size() <= 1) break;
+      if (try_candidate(without_phase(result.program, p))) progress = true;
+    }
+
+    // 2. Whole ranks (at least one must stay).
+    for (std::size_t r = static_cast<std::size_t>(result.program.nprocs); r-- > 0;) {
+      if (result.program.nprocs <= 1) break;
+      if (try_candidate(without_rank(result.program, r))) progress = true;
+    }
+
+    // 3. Op chunks: halves, quarters, ..., single ops (classic ddmin
+    //    granularity walk over the flattened op list).
+    for (std::size_t chunk = std::max<std::size_t>(result.program.op_count() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+      bool removed_at_this_granularity = true;
+      while (removed_at_this_granularity && budget_left()) {
+        removed_at_this_granularity = false;
+        const auto refs = flatten(result.program);
+        for (std::size_t first = 0; first + chunk <= refs.size(); first += chunk) {
+          if (try_candidate(without_ops(result.program, refs, first, chunk))) {
+            removed_at_this_granularity = true;
+            progress = true;
+            break;  // coordinates are stale; re-flatten.
+          }
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+
+  // 4. Compact unused areas (pure renumbering; verify it preserves failure).
+  if (budget_left()) {
+    const auto compacted = compact_areas(result.program);
+    if (compacted.areas != result.program.areas) try_candidate(compacted);
+  }
+
+  result.final_ops = result.program.op_count();
+  return result;
+}
+
+}  // namespace dsmr::fuzz

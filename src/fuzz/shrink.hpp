@@ -1,0 +1,47 @@
+// Delta-debugging shrinker for failing fuzz programs.
+//
+// Given a program and a "does it still fail?" predicate (typically: re-run
+// the harness on the failing (schedule seed, perturbation) and check that
+// the same invariant fires), the shrinker greedily applies structural
+// reductions, keeping each one only if the failure survives:
+//
+//  1. drop whole phases (and their barrier),
+//  2. drop whole processes (ranks renumber; area homes recompute),
+//  3. drop op chunks, ddmin-style (halves, quarters, ... single ops),
+//  4. drop unused areas (indices compact).
+//
+// Every reduction produces a valid program by construction (barriers are
+// phase boundaries, locked accesses are single ops), so the predicate is
+// the only arbiter. The shrink is fully deterministic: fixed visit order,
+// no randomness — the same input always shrinks to the same output.
+//
+// Shrinking a program that does not fail at all is a no-op (the input is
+// returned unchanged, `changed == false`).
+#pragma once
+
+#include <functional>
+
+#include "fuzz/program.hpp"
+
+namespace dsmr::fuzz {
+
+/// Must return true while the candidate still reproduces the failure.
+using StillFails = std::function<bool(const Program&)>;
+
+struct ShrinkOptions {
+  /// Upper bound on predicate evaluations (each one re-runs the harness).
+  int max_attempts = 4000;
+};
+
+struct ShrinkResult {
+  Program program;
+  bool changed = false;  ///< false: input did not fail, or nothing removable.
+  int attempts = 0;      ///< predicate evaluations spent.
+  std::size_t initial_ops = 0;
+  std::size_t final_ops = 0;
+};
+
+ShrinkResult shrink_program(const Program& initial, const StillFails& still_fails,
+                            const ShrinkOptions& options = {});
+
+}  // namespace dsmr::fuzz

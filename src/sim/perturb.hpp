@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "sim/time.hpp"
 #include "util/assert.hpp"
@@ -49,6 +50,22 @@ struct PerturbConfig {
     return out.str();
   }
 };
+
+/// The exploration grid convention shared by every front-end (dsmr_explore,
+/// dsmr_fuzz, examples): variant 0 is always the base (unperturbed)
+/// schedule, followed by `salts` independently-salted delay-bound variants.
+inline std::vector<PerturbConfig> perturb_variants(Time min_skew_ns, Time max_skew_ns,
+                                                   std::uint64_t salts) {
+  DSMR_REQUIRE(min_skew_ns <= max_skew_ns,
+               "perturbation skew bounds inverted: min=" << min_skew_ns
+                                                         << " max=" << max_skew_ns);
+  std::vector<PerturbConfig> variants{PerturbConfig{}};
+  variants.reserve(salts + 1);
+  for (std::uint64_t salt = 1; salt <= salts; ++salt) {
+    variants.push_back(PerturbConfig{min_skew_ns, max_skew_ns, salt});
+  }
+  return variants;
+}
 
 /// Draws the per-injection-point skews for one run. Each consumer (the
 /// fabric, the wakeup path) holds its own Perturbator forked by stream id,

@@ -1,11 +1,86 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
 #include "util/assert.hpp"
 
 namespace dsmr::util {
+
+namespace {
+
+/// strto* skip leading whitespace; strict parsing must not.
+bool strict_start(const std::string& text, bool allow_minus) {
+  if (text.empty()) return false;
+  const char c = text[0];
+  return (c >= '0' && c <= '9') || (allow_minus && c == '-' && text.size() > 1);
+}
+
+/// Plain decimal floating-point only: no whitespace, hex, inf, or nan
+/// (strtod accepts all of those).
+bool strict_double_text(const std::string& text) {
+  if (text.empty()) return false;
+  const char first = text[0];
+  if (first != '-' && first != '.' && !(first >= '0' && first <= '9')) return false;
+  for (const char c : text) {
+    const bool ok = (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+                    c == '+' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::int64_t> parse_i64(const std::string& text) {
+  if (!strict_start(text, /*allow_minus=*/true)) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size()) return std::nullopt;
+  return static_cast<std::int64_t>(value);
+}
+
+std::optional<std::uint64_t> parse_u64(const std::string& text) {
+  // No sign at all: strtoull would silently wrap "-1".
+  if (!strict_start(text, /*allow_minus=*/false)) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size()) return std::nullopt;
+  return static_cast<std::uint64_t>(value);
+}
+
+std::optional<SeedRange> parse_seed_range(const std::string& text,
+                                          std::uint64_t default_first,
+                                          std::string* error) {
+  auto fail = [error](const std::string& what) -> std::optional<SeedRange> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  const auto dots = text.find("..");
+  if (dots == std::string::npos) {
+    const auto count = parse_u64(text);
+    if (!count) return fail("'" + text + "' is not a seed count (expected N or LO..HI)");
+    if (*count == 0) return fail("seed count must be positive");
+    return SeedRange{default_first, *count};
+  }
+  const auto lo = parse_u64(text.substr(0, dots));
+  const auto hi = parse_u64(text.substr(dots + 2));
+  if (!lo || !hi) {
+    return fail("'" + text + "' is not a seed range (expected LO..HI, both integers)");
+  }
+  if (*hi < *lo) {
+    return fail("seed range '" + text + "' is empty (HI must be >= LO)");
+  }
+  const std::uint64_t count = *hi - *lo + 1;
+  if (count == 0) {  // 0..2^64-1 wraps: the count is not representable.
+    return fail("seed range '" + text + "' is too large to count");
+  }
+  return SeedRange{*lo, count};
+}
 
 Cli::Cli(int argc, char** argv, const std::string& usage) {
   program_ = argc > 0 ? argv[0] : "dsmr";
@@ -32,14 +107,36 @@ std::int64_t Cli::get_int(const std::string& name, std::int64_t default_value) {
   consumed_[name] = true;
   const auto it = values_.find(name);
   if (it == values_.end()) return default_value;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const auto value = parse_i64(it->second);
+  DSMR_REQUIRE(value.has_value(),
+               "--" << name << " expects an integer, got '" << it->second << "'");
+  return *value;
+}
+
+std::uint64_t Cli::get_uint(const std::string& name, std::uint64_t default_value) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const auto value = parse_u64(it->second);
+  DSMR_REQUIRE(value.has_value(), "--" << name << " expects a non-negative integer, got '"
+                                       << it->second << "'");
+  return *value;
 }
 
 double Cli::get_double(const std::string& name, double default_value) {
   consumed_[name] = true;
   const auto it = values_.find(name);
   if (it == values_.end()) return default_value;
-  return std::strtod(it->second.c_str(), nullptr);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  // ERANGE underflow still yields the nearest representable value (a
+  // denormal or 0) — accept it; only reject overflow to ±infinity.
+  const bool overflow = errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL);
+  DSMR_REQUIRE(strict_double_text(it->second) && !overflow &&
+                   end == it->second.c_str() + it->second.size(),
+               "--" << name << " expects a number, got '" << it->second << "'");
+  return value;
 }
 
 std::string Cli::get_string(const std::string& name, const std::string& default_value) {
@@ -52,6 +149,16 @@ bool Cli::get_flag(const std::string& name) {
   consumed_[name] = true;
   const auto it = values_.find(name);
   return it != values_.end() && it->second != "false" && it->second != "0";
+}
+
+SeedRange Cli::get_seed_range(const std::string& name, const SeedRange& default_value) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  std::string error;
+  const auto range = parse_seed_range(it->second, default_value.first, &error);
+  DSMR_REQUIRE(range.has_value(), "--" << name << ": " << error);
+  return *range;
 }
 
 void Cli::finish() const {

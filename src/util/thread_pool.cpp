@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/assert.hpp"
 
@@ -73,10 +74,20 @@ void parallel_for(std::uint64_t count, int threads,
     for (std::uint64_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  ThreadPool pool(static_cast<int>(
-      std::min<std::uint64_t>(static_cast<std::uint64_t>(threads), count)));
-  for (std::uint64_t i = 0; i < count; ++i) {
-    pool.submit([&fn, i] { fn(i); });
+  // One range-job per worker pulling indices from a shared counter: O(workers)
+  // allocations instead of one heap-allocated closure per index, which for
+  // million-run sweeps would materialize the whole queue up-front.
+  const int workers = static_cast<int>(
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(threads), count));
+  ThreadPool pool(workers);
+  std::atomic<std::uint64_t> next{0};
+  for (int w = 0; w < workers; ++w) {
+    pool.submit([&fn, &next, count] {
+      for (std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed); i < count;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+    });
   }
   pool.wait_idle();
 }

@@ -1,0 +1,423 @@
+// Tests for the program-space fuzzer: generator determinism and
+// construction guarantees, canonical serialization, the differential
+// harness hookup, the delta-debugging shrinker, and the repro/replay loop.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/conformance.hpp"
+#include "fuzz/generate.hpp"
+#include "fuzz/harness.hpp"
+#include "fuzz/program.hpp"
+#include "fuzz/shrink.hpp"
+#include "runtime/world.hpp"
+#include "util/rng.hpp"
+
+namespace dsmr::fuzz {
+namespace {
+
+GenConfig small_config(std::uint64_t seed, bool plant) {
+  GenConfig config;
+  config.seed = seed;
+  config.plant_bug = plant;
+  config.nprocs = 4;
+  config.areas = 5;
+  config.phases = 2;
+  config.max_ops_per_rank = 4;
+  return config;
+}
+
+FuzzCheckOptions quick_check(int threads = 1) {
+  FuzzCheckOptions options;
+  options.schedule_seeds = 2;
+  options.threads = threads;
+  options.perturbations = {sim::PerturbConfig{}, sim::PerturbConfig{0, 4'000, 1}};
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Generator determinism
+// ---------------------------------------------------------------------------
+
+TEST(FuzzGenerate, SameSeedIsByteIdentical) {
+  for (const bool plant : {false, true}) {
+    const auto a = generate_program(small_config(42, plant));
+    const auto b = generate_program(small_config(42, plant));
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(serialize(a), serialize(b));
+  }
+}
+
+TEST(FuzzGenerate, IndependentOfSurroundingRngState) {
+  // Generation must not read any ambient state: interleaving unrelated RNG
+  // draws (as a restarted process or a different call order would) cannot
+  // change the program.
+  const auto baseline = serialize(generate_program(small_config(7, true)));
+  util::Rng noise(123);
+  for (int i = 0; i < 1000; ++i) noise.next();
+  EXPECT_EQ(serialize(generate_program(small_config(7, true))), baseline);
+}
+
+TEST(FuzzGenerate, DifferentSeedsDiverge) {
+  std::set<std::string> texts;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    texts.insert(serialize(generate_program(small_config(seed, false))));
+  }
+  EXPECT_GE(texts.size(), 7u);  // near-certain all-distinct.
+}
+
+TEST(FuzzGenerate, ProfilesAreKnownAndChangeTheMix) {
+  for (const auto& name : profile_names()) {
+    GenConfig config = small_config(3, false);
+    EXPECT_TRUE(apply_profile(name, config)) << name;
+  }
+  GenConfig config = small_config(3, false);
+  EXPECT_FALSE(apply_profile("no-such-profile", config));
+  GenConfig write_heavy = small_config(3, false);
+  ASSERT_TRUE(apply_profile("write-heavy", write_heavy));
+  EXPECT_NE(serialize(generate_program(write_heavy)),
+            serialize(generate_program(small_config(3, false))));
+}
+
+TEST(FuzzGenerate, PlantedProgramsDeclareTheBug) {
+  const auto program = generate_program(small_config(11, true));
+  EXPECT_EQ(program.expect, Expectation::kRacy);
+  ASSERT_TRUE(program.planted.has_value());
+  const auto& bug = *program.planted;
+  // The construction rules (generate.hpp): bug in phase 0, home uninvolved.
+  EXPECT_EQ(bug.phase, 0);
+  EXPECT_NE(bug.owner, bug.victim);
+  const int home = bug.area % program.nprocs;
+  EXPECT_NE(home, bug.owner);
+  EXPECT_NE(home, bug.victim);
+}
+
+TEST(FuzzGenerateDeath, PlantedBugNeedsThreeRanks) {
+  GenConfig config = small_config(1, true);
+  config.nprocs = 2;
+  EXPECT_DEATH(generate_program(config), ">= 3 ranks");
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(FuzzProgram, SerializeParseRoundTrip) {
+  for (const bool plant : {false, true}) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const auto program = generate_program(small_config(seed, plant));
+      const auto text = serialize(program);
+      std::string error;
+      const auto parsed = parse_program(text, &error);
+      ASSERT_TRUE(parsed.has_value()) << error;
+      EXPECT_EQ(*parsed, program);
+      // Canonical: re-serialization is byte-identical.
+      EXPECT_EQ(serialize(*parsed), text);
+    }
+  }
+}
+
+TEST(FuzzProgram, ParserRejectsMalformedInput) {
+  const auto good = serialize(generate_program(small_config(1, true)));
+  const std::vector<std::string> bad = {
+      "",
+      "dsmr-program v2\n",
+      good.substr(0, good.size() / 2),            // truncated.
+      good + "trailing\n",                        // content after end.
+      "dsmr-program v1\nnprocs 0\n",              // out-of-range scalar.
+      "dsmr-program v1\nnprocs 2\nareas 1\narea_bytes 8\nexpect maybe\n",
+  };
+  for (const auto& text : bad) {
+    std::string error;
+    EXPECT_FALSE(parse_program(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty());
+  }
+  // An op referencing a nonexistent area must be rejected, not clamped.
+  std::string out_of_range = good;
+  const auto pos = out_of_range.find("put ");
+  ASSERT_NE(pos, std::string::npos);
+  out_of_range.replace(pos, 5, "put 9");
+  EXPECT_FALSE(parse_program(out_of_range).has_value());
+}
+
+TEST(FuzzProgram, OpCountCountsEveryRankAndPhase) {
+  Program program;
+  program.nprocs = 2;
+  program.areas = 1;
+  program.phases.resize(2);
+  program.phases[0].ops = {{Op{OpKind::kPut, 0, false, 0}}, {}};
+  program.phases[1].ops = {{Op{OpKind::kSleep, 0, false, 100}},
+                           {Op{OpKind::kGet, 0, true, 0}}};
+  EXPECT_EQ(program.op_count(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Harness: construction guarantees across the differential grid
+// ---------------------------------------------------------------------------
+
+TEST(FuzzHarness, CleanProgramsConformAndStaySilent) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto program = generate_program(small_config(seed, false));
+    const auto verdict = check_program(program, quick_check());
+    EXPECT_TRUE(verdict.passed()) << "seed " << seed << ": "
+                                  << verdict.failures.front().describe();
+    EXPECT_EQ(verdict.report.runs_with_reports, 0u) << "seed " << seed;
+    EXPECT_EQ(verdict.report.runs_with_truth, 0u) << "seed " << seed;
+  }
+}
+
+TEST(FuzzHarness, PlantedProgramsManifestOnEverySchedule) {
+  // The fuzz acceptance property at test scale: every planted program is
+  // racy in ground truth AND flagged by both detector modes AND live, on
+  // every explored (seed, perturbation) — with zero cross-detector
+  // disagreements.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto program = generate_program(small_config(seed, true));
+    const auto verdict = check_program(program, quick_check());
+    EXPECT_TRUE(verdict.passed()) << "seed " << seed << ": "
+                                  << verdict.failures.front().describe();
+    for (const auto& run : verdict.report.runs) {
+      EXPECT_TRUE(run.completed);
+      EXPECT_GT(run.truth_pairs, 0u) << "seed " << seed;
+      EXPECT_GT(run.live_reports, 0u) << "seed " << seed;
+      EXPECT_GT(run.dual_flagged, 0u) << "seed " << seed;
+      EXPECT_GT(run.single_flagged, 0u) << "seed " << seed;
+    }
+  }
+}
+
+TEST(FuzzHarness, VerdictsIdenticalAcrossSerialAndThreadedSweeps) {
+  const auto program = generate_program(small_config(23, true));
+  const auto serial = check_program(program, quick_check(1));
+  const auto threaded = check_program(program, quick_check(4));
+  ASSERT_EQ(serial.report.runs.size(), threaded.report.runs.size());
+  for (std::size_t i = 0; i < serial.report.runs.size(); ++i) {
+    const auto& a = serial.report.runs[i];
+    const auto& b = threaded.report.runs[i];
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.perturb, b.perturb);
+    EXPECT_EQ(a.live_reports, b.live_reports);
+    EXPECT_EQ(a.truth_pairs, b.truth_pairs);
+    EXPECT_EQ(a.fast_flagged, b.fast_flagged);
+    EXPECT_EQ(a.oracle_flagged, b.oracle_flagged);
+    EXPECT_EQ(a.dual_flagged, b.dual_flagged);
+    EXPECT_EQ(a.single_flagged, b.single_flagged);
+    EXPECT_EQ(a.failed_checks, b.failed_checks);
+  }
+  EXPECT_EQ(serial.failures.size(), threaded.failures.size());
+}
+
+TEST(FuzzHarness, VerdictsSurviveSerializationRoundTrip) {
+  // A restarted process sees only the serialized program; its verdicts must
+  // match the original generation's bit-for-bit.
+  const auto program = generate_program(small_config(31, true));
+  const auto reparsed = parse_program(serialize(program));
+  ASSERT_TRUE(reparsed.has_value());
+  const auto a = check_program(program, quick_check());
+  const auto b = check_program(*reparsed, quick_check());
+  ASSERT_EQ(a.report.runs.size(), b.report.runs.size());
+  for (std::size_t i = 0; i < a.report.runs.size(); ++i) {
+    EXPECT_EQ(a.report.runs[i].live_reports, b.report.runs[i].live_reports);
+    EXPECT_EQ(a.report.runs[i].truth_pairs, b.report.runs[i].truth_pairs);
+  }
+}
+
+TEST(FuzzHarness, GeneratedProgramsAreFirstClassScenarios) {
+  // to_scenario output runs through analysis::run_conformance exactly like
+  // a built-in scenario.
+  const auto program =
+      std::make_shared<const Program>(generate_program(small_config(5, false)));
+  const auto scenario = to_scenario(program, "fuzz-first-class");
+  EXPECT_EQ(scenario.name, "fuzz-first-class");
+  EXPECT_EQ(scenario.expect, analysis::RaceExpectation::kNever);
+  EXPECT_EQ(scenario.min_ranks, program->nprocs);
+
+  analysis::ConformanceOptions options;
+  options.base.nprocs = program->nprocs;
+  options.seeds = 3;
+  const auto report = analysis::run_conformance(scenario, options);
+  EXPECT_TRUE(report.passed()) << report.render();
+  EXPECT_EQ(report.runs_with_reports, 0u);
+}
+
+TEST(FuzzHarness, FaultHookForcesDisagreement) {
+  const auto program = generate_program(small_config(3, true));
+  FuzzCheckOptions options = quick_check();
+  options.fault = Fault::kDropLiveReports;
+  const auto verdict = check_program(program, options);
+  ASSERT_FALSE(verdict.passed());
+  for (const auto& failure : verdict.failures) {
+    EXPECT_EQ(check_name(failure.check), "planted-bug-not-detected");
+  }
+  // The hook only breaks the harness's view of *live* reports: clean
+  // programs stay unaffected.
+  const auto clean = generate_program(small_config(3, false));
+  EXPECT_TRUE(check_program(clean, options).passed());
+}
+
+TEST(FuzzHarness, CheckNameStripsDetail) {
+  EXPECT_EQ(check_name("precision: 3/4 reports true"), "precision");
+  EXPECT_EQ(check_name("planted-bug-not-detected"), "planted-bug-not-detected");
+}
+
+// ---------------------------------------------------------------------------
+// Shrinker
+// ---------------------------------------------------------------------------
+
+/// The deterministic single-schedule predicate the CLI uses: the named
+/// check still fires at the failing coordinate under the recorded fault.
+StillFails check_fires(const std::string& check, Fault fault, std::uint64_t seed,
+                       const sim::PerturbConfig& perturb) {
+  return [check, fault, seed, perturb](const Program& candidate) {
+    FuzzCheckOptions one;
+    one.first_schedule_seed = seed;
+    one.schedule_seeds = 1;
+    one.perturbations = {perturb};
+    one.fault = fault;
+    const auto verdict = check_program(candidate, one);
+    for (const auto& failure : verdict.failures) {
+      if (check_name(failure.check) == check) return true;
+    }
+    return false;
+  };
+}
+
+TEST(FuzzShrink, PlantedBugShrinksToAFewOpsStillRacing) {
+  for (std::uint64_t seed : {3u, 9u, 17u}) {
+    GenConfig config = small_config(seed, true);
+    config.phases = 3;
+    config.max_ops_per_rank = 6;
+    const auto program = generate_program(config);
+    ASSERT_GT(program.op_count(), 12u);  // something to shrink.
+
+    // Forced disagreement at a fixed coordinate (the acceptance path).
+    const sim::PerturbConfig perturb{};
+    const auto predicate =
+        check_fires("planted-bug-not-detected", Fault::kDropLiveReports, 1, perturb);
+    ASSERT_TRUE(predicate(program));
+
+    const auto result = shrink_program(program, predicate);
+    EXPECT_TRUE(result.changed);
+    EXPECT_LE(result.final_ops, 12u) << "seed " << seed;
+    EXPECT_LT(result.final_ops, result.initial_ops);
+    // The minimized program still reproduces the disagreement...
+    EXPECT_TRUE(predicate(result.program));
+    // ...because it still contains the race itself (without the fault the
+    // detector flags it on the same schedule).
+    FuzzCheckOptions one;
+    one.first_schedule_seed = 1;
+    one.schedule_seeds = 1;
+    one.perturbations = {perturb};
+    const auto verdict = check_program(result.program, one);
+    ASSERT_EQ(verdict.report.runs.size(), 1u);
+    EXPECT_GT(verdict.report.runs.front().truth_pairs, 0u);
+    EXPECT_GT(verdict.report.runs.front().live_reports, 0u);
+  }
+}
+
+TEST(FuzzShrink, CleanProgramIsANoOp) {
+  const auto program = generate_program(small_config(6, false));
+  int calls = 0;
+  const auto never_fails = [&calls](const Program&) {
+    ++calls;
+    return false;
+  };
+  const auto result = shrink_program(program, never_fails);
+  EXPECT_FALSE(result.changed);
+  EXPECT_EQ(result.program, program);
+  EXPECT_EQ(calls, 1);  // one probe of the input, zero candidates.
+  EXPECT_EQ(result.final_ops, result.initial_ops);
+}
+
+TEST(FuzzShrink, DeterministicAndBudgeted) {
+  const auto program = generate_program(small_config(9, true));
+  const auto predicate =
+      check_fires("planted-bug-not-detected", Fault::kDropLiveReports, 1, {});
+  const auto a = shrink_program(program, predicate);
+  const auto b = shrink_program(program, predicate);
+  EXPECT_EQ(a.program, b.program);
+  EXPECT_EQ(a.attempts, b.attempts);
+
+  ShrinkOptions tight;
+  tight.max_attempts = 5;
+  const auto capped = shrink_program(program, predicate, tight);
+  EXPECT_LE(capped.attempts, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Repro files
+// ---------------------------------------------------------------------------
+
+Repro make_repro() {
+  Repro repro;
+  repro.check = "planted-bug-not-detected";
+  repro.fault = Fault::kDropLiveReports;
+  repro.program_seed = 3;
+  repro.schedule_seed = 1;
+  repro.perturb = sim::PerturbConfig{0, 4'000, 2};
+  repro.shrunk = true;
+  repro.program = generate_program(small_config(3, true));
+  return repro;
+}
+
+TEST(FuzzRepro, SerializeParseRoundTripIsByteIdentical) {
+  const auto repro = make_repro();
+  const auto text = serialize_repro(repro);
+  std::string error;
+  const auto parsed = parse_repro(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->check, repro.check);
+  EXPECT_EQ(parsed->fault, repro.fault);
+  EXPECT_EQ(parsed->program_seed, repro.program_seed);
+  EXPECT_EQ(parsed->schedule_seed, repro.schedule_seed);
+  EXPECT_EQ(parsed->perturb, repro.perturb);
+  EXPECT_EQ(parsed->shrunk, repro.shrunk);
+  EXPECT_EQ(parsed->program, repro.program);
+  EXPECT_EQ(serialize_repro(*parsed), text);
+}
+
+TEST(FuzzRepro, ReplayReproducesTheRecordedCheck) {
+  const auto repro = make_repro();
+  const auto fired = replay_repro(repro);
+  EXPECT_FALSE(fired.empty());
+  EXPECT_TRUE(reproduces(repro));
+
+  // Without the fault there is nothing to reproduce: the detector catches
+  // the planted bug, so the recorded check must NOT fire.
+  Repro healthy = repro;
+  healthy.fault = Fault::kNone;
+  EXPECT_FALSE(reproduces(healthy));
+}
+
+TEST(FuzzRepro, ParserRejectsMalformedRepros) {
+  const auto text = serialize_repro(make_repro());
+  const std::vector<std::string> bad = {
+      "",
+      "dsmr-fuzz-repro v2\n",
+      text.substr(0, 40),                          // truncated head.
+      text.substr(0, text.size() - 10),            // truncated program.
+  };
+  for (const auto& candidate : bad) {
+    std::string error;
+    EXPECT_FALSE(parse_repro(candidate, &error).has_value());
+    EXPECT_FALSE(error.empty());
+  }
+  std::string bad_fault = text;
+  const auto pos = bad_fault.find("drop-live-reports");
+  ASSERT_NE(pos, std::string::npos);
+  bad_fault.replace(pos, 17, "no-such-fault-xyz");
+  EXPECT_FALSE(parse_repro(bad_fault).has_value());
+}
+
+TEST(FuzzRepro, FaultNamesRoundTrip) {
+  for (const Fault fault : {Fault::kNone, Fault::kDropLiveReports}) {
+    EXPECT_EQ(parse_fault(to_string(fault)), fault);
+  }
+  EXPECT_FALSE(parse_fault("bogus").has_value());
+}
+
+}  // namespace
+}  // namespace dsmr::fuzz

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include "mem/public_segment.hpp"
+#include "nic/nic.hpp"
+#include "runtime/world.hpp"
 
 namespace dsmr::mem {
 namespace {
@@ -100,6 +102,86 @@ TEST(PublicSegment, ClockBytesAccounting) {
   EXPECT_EQ(per_state, 10u + (clocks::Epoch{0, 0}).wire_size());
   EXPECT_EQ(seg.total_clock_bytes(), 2u * 2u * per_state);
   EXPECT_LT(seg.total_clock_bytes(), 2u * 2u * 10u * sizeof(ClockValue));
+}
+
+TEST(PublicSegment, AdjacentAreasShareBoundariesExactly) {
+  // The fuzzer bump-allocates areas back to back: the interval index must
+  // resolve every boundary byte to exactly one owner and reject straddles.
+  PublicSegment seg(0, 256, 4);
+  const AreaId a = seg.register_area(0, 64, "a");
+  const AreaId b = seg.register_area(64, 64, "b");
+  const AreaId c = seg.register_area(128, 32, "c");
+
+  // First and last byte of each area.
+  EXPECT_EQ(seg.find_area(0, 1)->id, a);
+  EXPECT_EQ(seg.find_area(63, 1)->id, a);
+  EXPECT_EQ(seg.find_area(64, 1)->id, b);
+  EXPECT_EQ(seg.find_area(127, 1)->id, b);
+  EXPECT_EQ(seg.find_area(128, 1)->id, c);
+  EXPECT_EQ(seg.find_area(159, 1)->id, c);
+  // Whole-area lookups at exact bounds.
+  EXPECT_EQ(seg.find_area(64, 64)->id, b);
+  // One past the last registered byte.
+  EXPECT_EQ(seg.find_area(160, 1), nullptr);
+  // Ranges straddling each adjacency.
+  EXPECT_EQ(seg.find_area(63, 2), nullptr);
+  EXPECT_EQ(seg.find_area(127, 2), nullptr);
+  EXPECT_EQ(seg.find_area(0, 129), nullptr);
+}
+
+TEST(PublicSegment, RegistrationFillsGapsExactly) {
+  PublicSegment seg(0, 256, 2);
+  seg.register_area(0, 32, "low");
+  seg.register_area(64, 32, "high");
+  // An area exactly filling the hole is legal; off-by-one overlaps are not.
+  const AreaId mid = seg.register_area(32, 32, "mid");
+  EXPECT_EQ(seg.find_area(32, 32)->id, mid);
+  EXPECT_EQ(seg.find_area(31, 2), nullptr);  // still two areas.
+}
+
+TEST(PublicSegmentDeath, GapFillOverlapsAreRejectedOnBothSides) {
+  PublicSegment seg(0, 256, 2);
+  seg.register_area(0, 32, "low");
+  seg.register_area(64, 32, "high");
+  EXPECT_DEATH(seg.register_area(31, 32, "hits-low"), "overlaps");
+  EXPECT_DEATH(seg.register_area(33, 32, "hits-high"), "overlaps");
+}
+
+TEST(NicResolverCache, StaysCorrectAcrossNewRegistrations) {
+  // The NIC keeps a one-entry (rank, area) resolver cache justified by
+  // areas being immutable with stable addresses. Registering *new* areas
+  // afterwards must never invalidate a cached answer or mask a new area —
+  // exactly the access pattern of the fuzzer's incremental allocations.
+  runtime::WorldConfig config;
+  config.nprocs = 2;
+  runtime::World world(config);
+  nic::Nic& nic = world.nic(0);
+
+  const auto a = world.alloc(0, 64, "a");
+  const Area* area_a = nic.resolve(0, a.offset, 8);
+  ASSERT_NE(area_a, nullptr);
+  EXPECT_EQ(area_a->name, "a");
+  // Cache hit: contained sub-range of the same area.
+  EXPECT_EQ(nic.resolve(0, a.offset + 32, 8), area_a);
+
+  // New adjacent registration while "a" is the cached entry.
+  const auto b = world.alloc(0, 32, "b");
+  const Area* area_b = nic.resolve(0, b.offset, 32);
+  ASSERT_NE(area_b, nullptr);
+  EXPECT_EQ(area_b->name, "b");
+  // A range straddling the a/b adjacency resolves to no area even though
+  // the cached entry ("b") abuts it.
+  EXPECT_EQ(nic.resolve(0, a.offset + 60, 8), nullptr);
+  // The earlier pointer is still stable and still served.
+  EXPECT_EQ(nic.resolve(0, a.offset, 64), area_a);
+
+  // Cross-rank query with a rank-0 entry cached: must not hit the cache.
+  const auto remote = world.alloc(1, 16, "remote");
+  const Area* area_remote = nic.resolve(1, remote.offset, 16);
+  ASSERT_NE(area_remote, nullptr);
+  EXPECT_EQ(area_remote->name, "remote");
+  // And back: the cache now holds rank 1, rank-0 lookups stay correct.
+  EXPECT_EQ(nic.resolve(0, b.offset, 8), area_b);
 }
 
 TEST(GlobalAddress, PlusAndToString) {

@@ -177,6 +177,93 @@ TEST(Cli, FlagFalseValues) {
   cli.finish();
 }
 
+TEST(ParseInt, StrictAcceptsOnlyWholeIntegers) {
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_EQ(parse_i64("-7"), -7);
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), 18446744073709551615ULL);
+  // The silent-truncation class of bugs this replaces:
+  EXPECT_FALSE(parse_i64("12abc").has_value());
+  EXPECT_FALSE(parse_i64("abc").has_value());
+  EXPECT_FALSE(parse_i64("").has_value());
+  EXPECT_FALSE(parse_i64(" 3").has_value());
+  EXPECT_FALSE(parse_i64("3 ").has_value());
+  EXPECT_FALSE(parse_i64("99999999999999999999999").has_value());  // overflow.
+  EXPECT_FALSE(parse_u64("-1").has_value());
+  EXPECT_FALSE(parse_u64("+1").has_value());
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());  // overflow.
+}
+
+TEST(SeedRange, ParsesCountAndInclusiveRangeForms) {
+  std::string error;
+  auto range = parse_seed_range("64", 1, &error);
+  ASSERT_TRUE(range.has_value()) << error;
+  EXPECT_EQ(*range, (SeedRange{1, 64}));
+  // The count form starts at the caller's default first seed.
+  EXPECT_EQ(parse_seed_range("8", 100), (SeedRange{100, 8}));
+  EXPECT_EQ(parse_seed_range("10..20", 1), (SeedRange{10, 11}));
+  EXPECT_EQ(parse_seed_range("5..5", 1), (SeedRange{5, 1}));
+}
+
+TEST(SeedRange, RejectsMalformedRangesWithAMessage) {
+  for (const char* text : {"", "abc", "12abc", "0", "10..", "..10", "3..x",
+                           "20..10", "1...5", "-3..4",
+                           // The full u64 range: its count wraps to 0.
+                           "0..18446744073709551615"}) {
+    std::string error;
+    EXPECT_FALSE(parse_seed_range(text, 1, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+  // The near-maximal range is still representable and accepted.
+  EXPECT_EQ(parse_seed_range("1..18446744073709551615", 1),
+            (SeedRange{1, 18446744073709551615ULL}));
+}
+
+TEST(Cli, SeedRangeFlagSharedGrammar) {
+  const char* argv[] = {"prog", "--seeds", "7..9"};
+  Cli cli(3, const_cast<char**>(argv), "usage");
+  EXPECT_EQ(cli.get_seed_range("seeds", SeedRange{1, 32}), (SeedRange{7, 3}));
+  cli.finish();
+
+  const char* argv2[] = {"prog"};
+  Cli defaults(1, const_cast<char**>(argv2), "usage");
+  EXPECT_EQ(defaults.get_seed_range("seeds", SeedRange{5, 16}), (SeedRange{5, 16}));
+  defaults.finish();
+}
+
+TEST(CliDeath, MalformedSeedRangeIsALoudError) {
+  const char* argv[] = {"prog", "--seeds", "20..10"};
+  Cli cli(3, const_cast<char**>(argv), "usage");
+  EXPECT_DEATH(cli.get_seed_range("seeds", SeedRange{1, 32}), "--seeds");
+}
+
+TEST(CliDeath, MalformedIntegerIsALoudErrorNotATruncation) {
+  const char* argv[] = {"prog", "--alpha", "12abc", "--beta", "xyz"};
+  Cli cli(5, const_cast<char**>(argv), "usage");
+  EXPECT_DEATH(cli.get_int("alpha", 0), "expects an integer");
+  EXPECT_DEATH(cli.get_int("beta", 0), "expects an integer");
+}
+
+TEST(Cli, DoubleAcceptsPlainDecimalIncludingDenormals) {
+  const char* argv[] = {"prog", "--a", "0.25", "--b=-1.5e2", "--c", "1e-320"};
+  Cli cli(6, const_cast<char**>(argv), "usage");
+  EXPECT_DOUBLE_EQ(cli.get_double("a", 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(cli.get_double("b", 0.0), -150.0);
+  // Underflow to a denormal is a valid value, not an error.
+  EXPECT_GT(cli.get_double("c", 1.0), 0.0);
+  cli.finish();
+}
+
+TEST(CliDeath, DoubleRejectsNonDecimalForms) {
+  const char* argv[] = {"prog", "--a", "nan", "--b", "inf", "--c", "0x1A",
+                        "--d", "1e400"};
+  Cli cli(9, const_cast<char**>(argv), "usage");
+  EXPECT_DEATH(cli.get_double("a", 0.0), "expects a number");
+  EXPECT_DEATH(cli.get_double("b", 0.0), "expects a number");
+  EXPECT_DEATH(cli.get_double("c", 0.0), "expects a number");
+  EXPECT_DEATH(cli.get_double("d", 0.0), "expects a number");  // overflow.
+}
+
 TEST(CliDeath, UnknownFlagPanicsOnFinish) {
   const char* argv[] = {"prog", "--tpyo", "1"};
   Cli cli(3, const_cast<char**>(argv), "usage");

@@ -9,9 +9,13 @@
 //
 //   dsmr_explore --list
 //   dsmr_explore [--scenario name[,name...]|all] [--ranks N]
-//                [--seeds N] [--first-seed N] [--threads N]
+//                [--seeds N|LO..HI] [--first-seed N] [--threads N]
 //                [--perturbations K] [--perturb-min NS] [--perturb-max NS]
 //                [--json FILE] [--trace-dir DIR] [--verbose]
+//
+// --seeds uses the shared seed-range grammar (util::parse_seed_range, also
+// dsmr_fuzz's): a count ("64", starting at --first-seed) or an inclusive
+// range ("100..163"). Malformed ranges are loud errors, never truncations.
 //
 // Exit status: 0 when every scenario conforms, 1 on any disagreement.
 //
@@ -46,18 +50,21 @@ std::vector<std::string> split_names(const std::string& csv) {
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv,
-                "[--list] [--scenario name[,name...]|all] [--ranks N] [--seeds N] "
-                "[--first-seed N] [--threads N] [--perturbations K] "
-                "[--perturb-min NS] [--perturb-max NS] [--json FILE] "
-                "[--trace-dir DIR] [--verbose]");
+                "[--list] [--scenario name[,name...]|all] [--ranks N] "
+                "[--seeds N|LO..HI] [--first-seed N] [--threads N] "
+                "[--perturbations K] [--perturb-min NS] [--perturb-max NS] "
+                "[--json FILE] [--trace-dir DIR] [--verbose]");
   const bool list = cli.get_flag("list");
   const std::string scenario_csv = cli.get_string("scenario", "all");
   const auto ranks = static_cast<int>(cli.get_int("ranks", 4));
-  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 32));
-  const auto first_seed = static_cast<std::uint64_t>(cli.get_int("first-seed", 1));
+  const auto default_first = cli.get_uint("first-seed", 1);
+  const auto seed_range =
+      cli.get_seed_range("seeds", util::SeedRange{default_first, 32});
+  const std::uint64_t seeds = seed_range.count;
+  const std::uint64_t first_seed = seed_range.first;
   const auto threads =
       static_cast<int>(cli.get_int("threads", util::ThreadPool::hardware_threads()));
-  const auto perturbations = static_cast<std::uint64_t>(cli.get_int("perturbations", 2));
+  const auto perturbations = cli.get_uint("perturbations", 2);
   const std::int64_t perturb_min_raw = cli.get_int("perturb-min", 0);
   const std::int64_t perturb_max_raw = cli.get_int("perturb-max", 4'000);
   if (perturb_min_raw < 0 || perturb_max_raw < 0 || perturb_min_raw > perturb_max_raw) {
@@ -101,12 +108,7 @@ int main(int argc, char** argv) {
   options.seeds = seeds;
   options.threads = threads;
   options.trace_dir = trace_dir;
-  // Variant 0 is always the base (unperturbed) schedule; each extra variant
-  // is an independently-salted delay-bound perturbation of the same seed.
-  options.perturbations = {sim::PerturbConfig{}};
-  for (std::uint64_t salt = 1; salt <= perturbations; ++salt) {
-    options.perturbations.push_back(sim::PerturbConfig{perturb_min, perturb_max, salt});
-  }
+  options.perturbations = sim::perturb_variants(perturb_min, perturb_max, perturbations);
 
   std::printf("--- dsmr_explore: %zu scenario(s) × %llu seeds × %zu schedule "
               "variants on %d thread(s) ---\n",

@@ -1,0 +1,379 @@
+// dsmr_fuzz — program-space fuzzing with computable ground truth.
+//
+// Where dsmr_explore sweeps schedules of hand-written scenarios, dsmr_fuzz
+// generates the *programs* too: each program seed yields a random barrier-
+// phased PGAS workload whose race status is decided by construction
+// (src/fuzz/generate.hpp) — clean programs must stay silent on every
+// schedule, planted-bug programs must be flagged by both detector modes on
+// every schedule. Every generated program runs through the full
+// differential conformance grid (epoch fast path vs full-VC oracle vs live
+// reports vs offline ground truth).
+//
+// Any violated invariant is minimized by the delta-debugging shrinker and
+// written as a self-contained repro file that `--replay` re-runs
+// bit-identically.
+//
+//   dsmr_fuzz [--seeds N|LO..HI] [--ranks N] [--areas N] [--phases N]
+//             [--ops N] [--area-bytes N] [--profile NAME]
+//             [--planted-fraction F] [--schedule-seeds K]
+//             [--perturbations K] [--perturb-min NS] [--perturb-max NS]
+//             [--threads N] [--budget-ms MS] [--json FILE]
+//             [--repro-dir DIR] [--no-shrink] [--fault MODE] [--verbose]
+//   dsmr_fuzz --replay FILE [--threads N]
+//
+// Exit status: 0 when every program conforms (or a --replay reproduces its
+// recorded check), 1 on any disagreement (or a failed replay), 2 on usage
+// errors. `--fault` (test-only) injects a deliberate harness fault to
+// exercise the failure → shrink → repro loop; see docs/testing.md.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/generate.hpp"
+#include "fuzz/harness.hpp"
+#include "fuzz/shrink.hpp"
+#include "trace/trace.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace dsmr;
+
+namespace {
+
+/// Deterministic planted/clean decision per program seed: a seed hash
+/// compared against the planted fraction, independent of generation order.
+bool plant_for_seed(std::uint64_t program_seed, double planted_fraction) {
+  const auto hash = util::SplitMix64(program_seed ^ 0x5eedf00dULL).next();
+  return static_cast<double>(hash >> 11) * 0x1.0p-53 < planted_fraction;
+}
+
+int run_replay(const std::string& path, int threads) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read --replay %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  const auto repro = fuzz::parse_repro(buffer.str(), &error);
+  if (!repro) {
+    std::fprintf(stderr, "malformed repro %s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+  // Bit-identical round trip: the repro must re-serialize to exactly the
+  // bytes on disk, so what replays is provably what was found.
+  if (fuzz::serialize_repro(*repro) != buffer.str()) {
+    std::fprintf(stderr, "repro %s does not round-trip byte-identically\n", path.c_str());
+    return 1;
+  }
+  const auto fired = fuzz::replay_repro(*repro, threads);
+  std::printf("replay of %s: program_seed=%llu schedule_seed=%llu perturb=%s fault=%s\n",
+              path.c_str(), static_cast<unsigned long long>(repro->program_seed),
+              static_cast<unsigned long long>(repro->schedule_seed),
+              repro->perturb.to_string().c_str(), fuzz::to_string(repro->fault));
+  std::printf("recorded check: %s\nfired checks:  ", repro->check.c_str());
+  if (fired.empty()) std::printf("(none)");
+  for (const auto& name : fired) std::printf(" %s", name.c_str());
+  std::printf("\n");
+  const bool ok =
+      std::find(fired.begin(), fired.end(), repro->check) != fired.end();
+  std::printf(ok ? "REPRODUCED\n" : "NOT REPRODUCED\n");
+  return ok ? 0 : 1;
+}
+
+struct FailureRecord {
+  std::uint64_t program_seed = 0;
+  std::string check;
+  std::string detail;
+  std::uint64_t schedule_seed = 0;
+  sim::PerturbConfig perturb{};
+  std::string repro_path;
+  std::size_t ops_before = 0;
+  std::size_t ops_after = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv,
+                "[--seeds N|LO..HI] [--ranks N] [--areas N] [--phases N] [--ops N] "
+                "[--area-bytes N] [--profile mixed|write-heavy|read-heavy|lock-heavy|"
+                "sync-sparse] [--planted-fraction F] [--schedule-seeds K] "
+                "[--perturbations K] [--perturb-min NS] [--perturb-max NS] "
+                "[--threads N] [--budget-ms MS] [--json FILE] [--repro-dir DIR] "
+                "[--no-shrink] [--fault none|drop-live-reports] [--verbose] | "
+                "--replay FILE");
+  const std::string replay_path = cli.get_string("replay", "");
+  const auto threads =
+      static_cast<int>(cli.get_int("threads", util::ThreadPool::hardware_threads()));
+  if (!replay_path.empty()) {
+    cli.finish();
+    return run_replay(replay_path, threads);
+  }
+
+  const auto seeds = cli.get_seed_range("seeds", util::SeedRange{1, 64});
+  fuzz::GenConfig gen;
+  // Profile first, explicit flags second: --phases/--ops passed alongside
+  // --profile must override the profile's shape, not be overwritten by it.
+  const std::string profile = cli.get_string("profile", "mixed");
+  if (!fuzz::apply_profile(profile, gen)) {
+    std::fprintf(stderr, "unknown --profile %s (known:", profile.c_str());
+    for (const auto& name : fuzz::profile_names()) std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
+  gen.nprocs = static_cast<int>(cli.get_int("ranks", gen.nprocs));
+  gen.areas = static_cast<int>(cli.get_int("areas", gen.areas));
+  gen.phases = static_cast<int>(cli.get_int("phases", gen.phases));
+  gen.max_ops_per_rank = static_cast<int>(cli.get_int("ops", gen.max_ops_per_rank));
+  gen.area_bytes =
+      static_cast<std::uint32_t>(cli.get_int("area-bytes", gen.area_bytes));
+  double planted_fraction = cli.get_double("planted-fraction", 0.5);
+  if (gen.nprocs < 3 && planted_fraction > 0.0) {
+    // A planted pair needs an uninvolved home rank (fuzz/generate.hpp).
+    std::fprintf(stderr,
+                 "note: --ranks %d < 3 cannot host planted bugs; generating "
+                 "clean programs only\n",
+                 gen.nprocs);
+    planted_fraction = 0.0;
+  }
+  const auto schedule_seeds = cli.get_uint("schedule-seeds", 3);
+  const auto perturbations = cli.get_uint("perturbations", 1);
+  const std::int64_t perturb_min = cli.get_int("perturb-min", 0);
+  const std::int64_t perturb_max = cli.get_int("perturb-max", 4'000);
+  if (perturb_min < 0 || perturb_max < 0 || perturb_min > perturb_max) {
+    std::fprintf(stderr, "--perturb-min/--perturb-max must satisfy 0 <= min <= max\n");
+    return 2;
+  }
+  const auto budget_ms = cli.get_int("budget-ms", 0);
+  const std::string json_path = cli.get_string("json", "");
+  const std::string repro_dir = cli.get_string("repro-dir", "");
+  const bool no_shrink = cli.get_flag("no-shrink");
+  const std::string fault_text = cli.get_string("fault", "none");
+  const auto fault = fuzz::parse_fault(fault_text);
+  if (!fault) {
+    std::fprintf(stderr, "unknown --fault %s (none|drop-live-reports)\n",
+                 fault_text.c_str());
+    return 2;
+  }
+  const bool verbose = cli.get_flag("verbose");
+  cli.finish();
+
+  fuzz::FuzzCheckOptions check;
+  check.schedule_seeds = schedule_seeds;
+  // Parallelism lives on the *program* axis below (the independent one);
+  // each program's own grid runs serially on its worker.
+  check.threads = 1;
+  check.fault = *fault;
+  // Same semantics as dsmr_explore: K extra salted variants on top of the
+  // always-present base schedule.
+  check.perturbations =
+      sim::perturb_variants(static_cast<sim::Time>(perturb_min),
+                            static_cast<sim::Time>(perturb_max), perturbations);
+
+  std::printf("--- dsmr_fuzz: seeds [%llu..%llu], profile %s, %llu schedule seed(s) × "
+              "%zu variant(s), %d thread(s)%s ---\n",
+              static_cast<unsigned long long>(seeds.first),
+              static_cast<unsigned long long>(seeds.first + seeds.count - 1),
+              profile.c_str(), static_cast<unsigned long long>(schedule_seeds),
+              check.perturbations.size(), threads,
+              *fault == fuzz::Fault::kNone ? "" : " [FAULT INJECTION ON]");
+
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed_ms = [&start]() {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  std::uint64_t programs = 0, planted = 0, clean = 0, schedules = 0;
+  bool budget_hit = false;
+  std::vector<FailureRecord> failures;
+
+  // Fan out over the program axis — programs are fully independent — on one
+  // pool for the whole run, in chunks so the wall-clock budget stays
+  // responsive. Each job writes its pre-assigned slot; everything below the
+  // sweep folds in seed order, so output and repros are deterministic.
+  struct ProgramOutcome {
+    bool ran = false;
+    bool planted = false;
+    std::uint64_t schedules = 0;
+    std::size_t ops = 0;
+    std::string rendered;  ///< report text (verbose only).
+    std::vector<analysis::Divergence> failures;
+  };
+  std::vector<ProgramOutcome> outcomes(seeds.count);
+  {
+    util::ThreadPool pool(threads);
+    const std::uint64_t chunk =
+        std::max<std::uint64_t>(static_cast<std::uint64_t>(threads) * 4, 1);
+    for (std::uint64_t next = 0; next < seeds.count; next += chunk) {
+      if (budget_ms > 0 && elapsed_ms() >= budget_ms) {
+        budget_hit = true;
+        break;
+      }
+      const std::uint64_t end = std::min(seeds.count, next + chunk);
+      for (std::uint64_t offset = next; offset < end; ++offset) {
+        pool.submit([offset, &outcomes, &seeds, &gen, &check, planted_fraction,
+                     verbose] {
+          const std::uint64_t program_seed = seeds.first + offset;
+          fuzz::GenConfig job_gen = gen;
+          job_gen.seed = program_seed;
+          job_gen.plant_bug = plant_for_seed(program_seed, planted_fraction);
+          const auto program = fuzz::generate_program(job_gen);
+          fuzz::FuzzCheckOptions job_check = check;
+          job_check.scenario_name = "fuzz-s" + std::to_string(program_seed);
+          const auto verdict = fuzz::check_program(program, job_check);
+
+          auto& out = outcomes[offset];
+          out.ran = true;
+          out.planted = job_gen.plant_bug;
+          out.schedules = verdict.report.runs.size();
+          out.ops = program.op_count();
+          if (verbose) {
+            out.rendered = std::string(fuzz::to_string(program.expect)) + ": " +
+                           verdict.report.render();
+          }
+          out.failures = verdict.failures;
+        });
+      }
+      pool.wait_idle();
+    }
+  }
+
+  for (std::uint64_t offset = 0; offset < seeds.count; ++offset) {
+    const auto& outcome = outcomes[offset];
+    if (!outcome.ran) continue;  // past the budget cut.
+    const std::uint64_t program_seed = seeds.first + offset;
+    ++programs;
+    (outcome.planted ? planted : clean) += 1;
+    schedules += outcome.schedules;
+    if (verbose) {
+      std::printf("s%llu %s\n", static_cast<unsigned long long>(program_seed),
+                  outcome.rendered.c_str());
+    }
+    if (outcome.failures.empty()) continue;
+
+    // Regenerate the failing program (generation is deterministic and
+    // cheap), then minimize the first failure and write its repro.
+    gen.seed = program_seed;
+    gen.plant_bug = plant_for_seed(program_seed, planted_fraction);
+    const auto program = fuzz::generate_program(gen);
+    const auto& first = outcome.failures.front();
+    FailureRecord record;
+    record.program_seed = program_seed;
+    record.check = fuzz::check_name(first.check);
+    record.detail = first.detail.empty() ? first.check : first.detail;
+    record.schedule_seed = first.seed;
+    record.perturb = first.perturb;
+    record.ops_before = program.op_count();
+
+    fuzz::Repro repro;
+    repro.check = record.check;
+    repro.fault = *fault;
+    repro.program_seed = program_seed;
+    repro.schedule_seed = first.seed;
+    repro.perturb = first.perturb;
+    repro.program = program;
+
+    // planted-race-vanished indicts the generated program as a whole (see
+    // fuzz/harness.cpp): minimizing it would degenerate, so keep it intact.
+    const bool shrinkable = record.check != "planted-race-vanished";
+    if (!no_shrink && shrinkable) {
+      fuzz::FuzzCheckOptions one = check;
+      one.first_schedule_seed = first.seed;
+      one.schedule_seeds = 1;
+      one.perturbations = {first.perturb};
+      const auto still_fails = [&one, &record](const fuzz::Program& candidate) {
+        const auto v = fuzz::check_program(candidate, one);
+        for (const auto& failure : v.failures) {
+          if (fuzz::check_name(failure.check) == record.check) return true;
+        }
+        return false;
+      };
+      const auto shrunk = fuzz::shrink_program(program, still_fails);
+      repro.program = shrunk.program;
+      repro.shrunk = shrunk.changed;
+    }
+    record.ops_after = repro.program.op_count();
+
+    if (!repro_dir.empty()) {
+      std::filesystem::create_directories(repro_dir);
+      record.repro_path = repro_dir + "/fuzz-s" + std::to_string(program_seed) + "-" +
+                          record.check + ".repro";
+      std::ofstream out(record.repro_path);
+      out << fuzz::serialize_repro(repro);
+      if (!out.good()) {
+        std::fprintf(stderr, "cannot write repro %s\n", record.repro_path.c_str());
+        return 2;
+      }
+    }
+    std::printf("FAILURE s%llu: %s (seed=%llu perturb=%s, %zu -> %zu ops%s%s)\n",
+                static_cast<unsigned long long>(program_seed), record.check.c_str(),
+                static_cast<unsigned long long>(record.schedule_seed),
+                record.perturb.to_string().c_str(), record.ops_before, record.ops_after,
+                record.repro_path.empty() ? "" : ", repro: ",
+                record.repro_path.c_str());
+    failures.push_back(std::move(record));
+  }
+
+  util::Table table({"programs", "planted", "clean", "schedules", "failures", "ms"});
+  table.add_row({util::Table::fmt_int(programs), util::Table::fmt_int(planted),
+                 util::Table::fmt_int(clean), util::Table::fmt_int(schedules),
+                 util::Table::fmt_int(failures.size()),
+                 util::Table::fmt_int(static_cast<std::uint64_t>(elapsed_ms()))});
+  std::printf("%s", table.render().c_str());
+  if (budget_hit) {
+    std::printf("stopped at --budget-ms %lld after %llu program(s)\n",
+                static_cast<long long>(budget_ms),
+                static_cast<unsigned long long>(programs));
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write --json %s\n", json_path.c_str());
+      return 2;
+    }
+    out << "{\"tool\":\"dsmr_fuzz\",\"first_seed\":" << seeds.first
+        << ",\"seed_count\":" << seeds.count << ",\"profile\":\""
+        << trace::json_escape(profile) << "\",\"ranks\":" << gen.nprocs
+        << ",\"schedule_seeds\":" << schedule_seeds
+        << ",\"variants\":" << check.perturbations.size()
+        << ",\"fault\":\"" << fuzz::to_string(*fault) << "\",\"programs\":" << programs
+        << ",\"planted\":" << planted << ",\"clean\":" << clean
+        << ",\"schedules\":" << schedules << ",\"elapsed_ms\":" << elapsed_ms()
+        << ",\"budget_hit\":" << (budget_hit ? "true" : "false")
+        << ",\"passed\":" << (failures.empty() ? "true" : "false") << ",\"failures\":[";
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+      const auto& f = failures[i];
+      if (i > 0) out << ",";
+      out << "{\"program_seed\":" << f.program_seed << ",\"check\":\""
+          << trace::json_escape(f.check) << "\",\"detail\":\""
+          << trace::json_escape(f.detail) << "\",\"schedule_seed\":" << f.schedule_seed
+          << ",\"perturb\":\"" << trace::json_escape(f.perturb.to_string())
+          << "\",\"ops_before\":" << f.ops_before << ",\"ops_after\":" << f.ops_after
+          << ",\"repro\":\"" << trace::json_escape(f.repro_path) << "\"}";
+    }
+    out << "]}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!failures.empty()) {
+    std::printf("FUZZ FAILURE: %zu program(s) violated an invariant — replay any "
+                "repro with --replay (docs/testing.md)\n",
+                failures.size());
+    return 1;
+  }
+  std::printf("all %llu generated program(s) conformant\n",
+              static_cast<unsigned long long>(programs));
+  return 0;
+}
