@@ -1,5 +1,7 @@
 #include "fuzz/generate.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -12,6 +14,8 @@ bool apply_profile(const std::string& name, GenConfig& config) {
     config.write_fraction = 0.55;
     config.locked_area_fraction = 0.3;
     config.shared_read_fraction = 0.2;
+    config.collective_fraction = 0.25;
+    config.max_sync_edges = 2;
     return true;
   }
   if (name == "write-heavy") {
@@ -19,6 +23,8 @@ bool apply_profile(const std::string& name, GenConfig& config) {
     config.write_fraction = 0.85;
     config.locked_area_fraction = 0.2;
     config.shared_read_fraction = 0.05;
+    config.collective_fraction = 0.2;
+    config.max_sync_edges = 1;
     return true;
   }
   if (name == "read-heavy") {
@@ -26,6 +32,8 @@ bool apply_profile(const std::string& name, GenConfig& config) {
     config.write_fraction = 0.2;
     config.locked_area_fraction = 0.15;
     config.shared_read_fraction = 0.5;
+    config.collective_fraction = 0.2;
+    config.max_sync_edges = 1;
     return true;
   }
   if (name == "lock-heavy") {
@@ -33,20 +41,60 @@ bool apply_profile(const std::string& name, GenConfig& config) {
     config.write_fraction = 0.6;
     config.locked_area_fraction = 0.8;
     config.shared_read_fraction = 0.05;
+    config.collective_fraction = 0.15;
+    config.max_sync_edges = 1;
     return true;
   }
   if (name == "sync-sparse") {
-    // Long phases, few barriers: stresses within-phase discipline.
+    // Long phases, no boundaries beyond the implicit start, no extra sync:
+    // stresses within-phase discipline.
     config.phases = 1;
     config.max_ops_per_rank = 16;
     config.data_fraction = 0.85;
+    config.collective_fraction = 0.0;
+    config.max_sync_edges = 0;
+    return true;
+  }
+  if (name == "sync-rich") {
+    // The signal/wait + collective slice: boundary-dense phases where most
+    // synchronization is collectives and point-to-point edges.
+    config.phases = 4;
+    config.max_ops_per_rank = 5;
+    config.data_fraction = 0.7;
+    config.write_fraction = 0.5;
+    config.locked_area_fraction = 0.2;
+    config.shared_read_fraction = 0.2;
+    config.collective_fraction = 0.6;
+    config.max_sync_edges = 4;
     return true;
   }
   return false;
 }
 
 std::vector<std::string> profile_names() {
-  return {"mixed", "write-heavy", "read-heavy", "lock-heavy", "sync-sparse"};
+  return {"mixed", "write-heavy", "read-heavy", "lock-heavy", "sync-sparse", "sync-rich"};
+}
+
+bool bug_kind_eligible(const GenConfig& config, BugKind kind) {
+  if (config.nprocs < 3) return false;
+  switch (kind) {
+    case BugKind::kDroppedEdge:
+      return true;
+    case BugKind::kWrongLock:
+    case BugKind::kAckWindow:
+      return config.areas >= config.nprocs + 1;
+    case BugKind::kPartialBarrier:
+      return config.areas >= config.nprocs + 1 && config.phases >= 2;
+  }
+  return false;
+}
+
+std::vector<BugKind> eligible_bug_kinds(const GenConfig& config) {
+  std::vector<BugKind> kinds;
+  for (const BugKind kind : all_bug_kinds()) {
+    if (bug_kind_eligible(config, kind)) kinds.push_back(kind);
+  }
+  return kinds;
 }
 
 namespace {
@@ -74,6 +122,56 @@ Op make_pause(util::Rng& rng) {
   return op;
 }
 
+Op make_timed(OpKind kind, sim::Time duration) {
+  Op op;
+  op.kind = kind;
+  op.duration = duration;
+  return op;
+}
+
+Op make_sleep(util::Rng& rng) { return make_timed(OpKind::kSleep, random_duration(rng)); }
+
+Op make_access(OpKind kind, int area, bool locked = false, int lock = -1) {
+  Op op;
+  op.kind = kind;
+  op.area = area;
+  op.locked = locked;
+  op.lock = lock;
+  return op;
+}
+
+Op make_signal(int peer, std::uint64_t tag) {
+  Op op;
+  op.kind = OpKind::kSignal;
+  op.peer = peer;
+  op.tag = tag;
+  return op;
+}
+
+Op make_wait(std::uint64_t tag) {
+  Op op;
+  op.kind = OpKind::kWait;
+  op.tag = tag;
+  return op;
+}
+
+OpKind access_kind(core::AccessKind kind) {
+  return kind == core::AccessKind::kWrite ? OpKind::kPut : OpKind::kGet;
+}
+
+/// Two distinct ranks, neither of which is `home`: the racy pair of every
+/// bug shape (the contested area's home must stay a third, uninvolved
+/// party — a home-rank participant learns of applications at its own NIC
+/// for free, which would order the pair).
+std::pair<int, int> pick_racy_pair(util::Rng& rng, int nprocs, int home) {
+  const auto n = static_cast<std::uint64_t>(nprocs);
+  std::uint64_t k1 = 1 + rng.below(n - 1);
+  std::uint64_t k2 = 1 + rng.below(n - 2);
+  if (k2 >= k1) ++k2;
+  return {static_cast<int>((static_cast<std::uint64_t>(home) + k1) % n),
+          static_cast<int>((static_cast<std::uint64_t>(home) + k2) % n)};
+}
+
 }  // namespace
 
 Program generate_program(const GenConfig& config) {
@@ -91,16 +189,12 @@ Program generate_program(const GenConfig& config) {
   DSMR_REQUIRE(config.max_ops_per_rank >= 1 &&
                    static_cast<std::size_t>(config.max_ops_per_rank) <= kMaxOpsPerRank,
                "generator ops per rank out of range [1, " << kMaxOpsPerRank << "]");
-  // Three ranks, not two: the bug area's home must be a *third* rank. The
-  // home node's clock ticks on every application it serves, and the home
-  // process shares that clock — so a pair involving the home rank is
-  // ordered whenever the remote access happens to apply before the home-
-  // side access issues, making the race schedule-dependent. With the home
-  // uninvolved, no clock-merge path into either racy access exists and the
-  // pair is concurrent on every schedule.
-  DSMR_REQUIRE(!config.plant_bug || config.nprocs >= 3,
-               "a planted bug needs >= 3 ranks (owner, victim, and an "
-               "uninvolved home for the bug area)");
+  DSMR_REQUIRE(config.max_sync_edges >= 0, "generator sync edges must be >= 0");
+  DSMR_REQUIRE(!config.plant_bug || bug_kind_eligible(config, config.bug_kind),
+               "bug kind " << to_string(config.bug_kind)
+                           << " needs >= 3 ranks, and (beyond dropped-edge) a "
+                              "same-home area pair (areas >= nprocs + 1; "
+                              "partial-barrier also phases >= 2)");
 
   util::Rng rng(util::SplitMix64(config.seed ^ 0xf0220fu).next());
 
@@ -108,53 +202,102 @@ Program generate_program(const GenConfig& config) {
   program.nprocs = config.nprocs;
   program.areas = config.areas;
   program.area_bytes = config.area_bytes;
-  program.expect = config.plant_bug ? Expectation::kRacy : Expectation::kClean;
 
-  // The planted pair (decided up front so the bug area can be kept idle in
-  // every other phase).
+  // The planted pair (decided up front so the involved areas can be kept
+  // idle in every other phase). See generate.hpp for each shape's
+  // construction argument.
   PlantedBug bug;
   if (config.plant_bug) {
-    const auto n = static_cast<std::uint64_t>(config.nprocs);
-    // The bug lives in phase 0, which has NO preceding synchronization: a
-    // dissemination barrier is not an instantaneous frontier, so a racy
-    // access issued right after an *entry* barrier can leak to the other
-    // racy rank through a lagging node's still-pending barrier signals and
-    // order the pair on unlucky schedules. Before phase 0 there is nothing
-    // to leak: both racy issue clocks are provably free of foreign
-    // components on every schedule.
-    bug.phase = 0;
-    bug.area = static_cast<int>(rng.below(static_cast<std::uint64_t>(config.areas)));
-    // Owner and victim are two distinct ranks, neither of which is the bug
-    // area's home (see the >= 3 ranks precondition above): two distinct
-    // draws from the n-1 non-home ranks.
-    const auto home = static_cast<std::uint64_t>(bug.area) % n;
-    std::uint64_t k1 = 1 + rng.below(n - 1);
-    std::uint64_t k2 = 1 + rng.below(n - 2);
-    if (k2 >= k1) ++k2;
-    bug.owner = static_cast<int>((home + k1) % n);
-    bug.victim = static_cast<int>((home + k2) % n);
-    bug.victim_kind = rng.chance(0.5) ? core::AccessKind::kWrite : core::AccessKind::kRead;
+    bug.kind = config.bug_kind;
+    switch (config.bug_kind) {
+      case BugKind::kDroppedEdge: {
+        // Phase 0: before it there is no boundary whose in-flight signals
+        // could leak an ordering; both racy issue clocks are provably free
+        // of foreign components on every schedule.
+        bug.phase = 0;
+        bug.area = static_cast<int>(rng.below(static_cast<std::uint64_t>(config.areas)));
+        bug.aux_area = -1;
+        break;
+      }
+      case BugKind::kWrongLock:
+      case BugKind::kAckWindow:
+      case BugKind::kPartialBarrier: {
+        // A same-home pair (a, a + nprocs): the contested area and its
+        // sibling (the wrong lock's area, or the probe/leak area) share the
+        // uninvolved home rank a % nprocs.
+        const int a = static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(config.areas - config.nprocs)));
+        bug.area = a;
+        bug.aux_area = a + config.nprocs;
+        bug.phase = config.bug_kind == BugKind::kAckWindow
+                        ? static_cast<int>(rng.below(static_cast<std::uint64_t>(config.phases)))
+                    : config.bug_kind == BugKind::kPartialBarrier
+                        ? static_cast<int>(
+                              rng.below(static_cast<std::uint64_t>(config.phases - 1)))
+                        : 0;
+        break;
+      }
+    }
+    const int home = bug.area % config.nprocs;
+    std::tie(bug.owner, bug.victim) = pick_racy_pair(rng, config.nprocs, home);
+    bug.victim_kind =
+        rng.chance(0.5) ? core::AccessKind::kWrite : core::AccessKind::kRead;
     program.planted = bug;
+    program.expect = (bug.kind == BugKind::kDroppedEdge || bug.kind == BugKind::kWrongLock)
+                         ? Expectation::kRacy
+                         : Expectation::kSometimes;
+  } else {
+    program.expect = Expectation::kClean;
   }
 
-  for (int ph = 0; ph < config.phases; ++ph) {
-    const bool bug_phase = config.plant_bug && ph == bug.phase;
+  // Signal tags: one global counter keeps every edge's tag unique (and far
+  // below the collective tag range, program.hpp::kMaxSignalTag).
+  std::uint64_t next_tag = 0;
 
-    // Phase policies. The bug area is idle everywhere; in the bug phase its
-    // accesses are emitted explicitly below, outside every policy. During
-    // the bug phase, areas *homed at* the owner or victim are idle too:
-    // serving any inbound request merges the requester's clock into the
-    // home node's clock (which the home process shares), so traffic into
-    // those nodes could carry knowledge of one racy access to the other and
-    // order the planted pair on some schedules.
+  for (int ph = 0; ph < config.phases; ++ph) {
+    Phase phase;
+    const bool plant = config.plant_bug;
+    // Phases that carry one side of the planted pair: the discipline around
+    // the racy ranks is restricted there (idle home areas, no sync edges).
+    const bool bug_phase = plant && ph == bug.phase;
+    const bool skip_phase =
+        plant && bug.kind == BugKind::kPartialBarrier && ph == bug.phase + 1;
+    const bool sensitive = bug_phase || skip_phase;
+
+    // Entry boundary (phase 0 has none).
+    if (ph > 0) {
+      if (skip_phase) {
+        // The skipped boundary must be a plain barrier: arrive-only has a
+        // deadlock-free send half there, which tree collectives lack.
+        phase.skip_rank = bug.victim;
+      } else if (rng.chance(config.collective_fraction)) {
+        const auto pick = rng.below(3);
+        if (pick == 0) {
+          phase.entry.kind = BoundaryKind::kAllreduce;
+        } else {
+          phase.entry.kind =
+              pick == 1 ? BoundaryKind::kGatherBcast : BoundaryKind::kGatherScatter;
+          phase.entry.root =
+              static_cast<int>(rng.below(static_cast<std::uint64_t>(config.nprocs)));
+        }
+      }
+    }
+
+    // Phase policies. The planted areas are idle everywhere; their accesses
+    // are emitted explicitly below, outside every policy. During sensitive
+    // phases, areas *homed at* the owner or victim are idle too: serving
+    // any inbound request merges the requester's clock into the home node's
+    // clock (which the home process shares), so traffic into those nodes
+    // could carry knowledge of one racy access to the other and order the
+    // planted pair.
     std::vector<AreaPolicy> policies(static_cast<std::size_t>(config.areas));
     for (int a = 0; a < config.areas; ++a) {
       auto& policy = policies[static_cast<std::size_t>(a)];
-      if (config.plant_bug && a == bug.area) {
+      if (plant && (a == bug.area || a == bug.aux_area)) {
         policy.kind = AreaPolicy::kIdle;
         continue;
       }
-      if (bug_phase) {
+      if (sensitive) {
         const int home = a % config.nprocs;
         if (home == bug.owner || home == bug.victim) {
           policy.kind = AreaPolicy::kIdle;
@@ -171,62 +314,166 @@ Program generate_program(const GenConfig& config) {
       }
     }
 
-    Phase phase;
+    // Pre-drawn tags for the ack-window handshake (both rows reference them).
+    std::uint64_t ack_t1 = 0, ack_t2 = 0;
+    if (plant && bug.kind == BugKind::kAckWindow && bug_phase) {
+      ack_t1 = next_tag++;
+      ack_t2 = next_tag++;
+    }
+
     for (int r = 0; r < config.nprocs; ++r) {
       std::vector<Op> ops;
-      const bool racy_rank = bug_phase && (r == bug.owner || r == bug.victim);
-      if (racy_rank) {
-        // The dropped synchronization edge: before its racy access this rank
-        // performs nothing that merges another clock (sleeps only), so no
-        // happens-before path into the access can exist on any schedule.
-        if (r == bug.victim && rng.chance(0.6)) {
-          Op pause;
-          pause.kind = OpKind::kSleep;
-          pause.duration = random_duration(rng);
-          ops.push_back(pause);
+      bool ordinary = true;  ///< discipline-following filler ops for this row.
+      // The planted prologue: the explicitly-emitted bug ops come first
+      // (before any clock-merging filler), so the construction arguments
+      // about "nothing but sleeps before the racy access" hold.
+      if (bug_phase && (r == bug.owner || r == bug.victim)) {
+        switch (bug.kind) {
+          case BugKind::kDroppedEdge:
+            // The dropped synchronization edge: before its racy access this
+            // rank performs nothing that merges another clock (sleeps
+            // only), so no happens-before path into the access can exist.
+            if (r == bug.victim && rng.chance(0.6)) ops.push_back(make_sleep(rng));
+            ops.push_back(make_access(
+                r == bug.owner ? OpKind::kPut : access_kind(bug.victim_kind), bug.area));
+            break;
+          case BugKind::kWrongLock:
+            // Locked on both sides — but the victim's lock is the sibling
+            // area's, so the critical sections never exchange a handoff
+            // clock and the pair stays concurrent on every schedule.
+            if (rng.chance(0.5)) ops.push_back(make_sleep(rng));
+            if (r == bug.owner) {
+              ops.push_back(make_access(OpKind::kPut, bug.area, /*locked=*/true));
+            } else {
+              ops.push_back(make_access(access_kind(bug.victim_kind), bug.area,
+                                        /*locked=*/true, bug.aux_area));
+            }
+            break;
+          case BugKind::kAckWindow:
+            // Producer: put, notify, then run one put ahead of the ack.
+            // Consumer: probe the sibling area (merging the home's clock at
+            // serve time), then access the contested area — racy exactly
+            // when the second put had not yet applied at the home. The
+            // producer's pre-put sleep (>= ~1.6x the one-hop base latency)
+            // guarantees the probe wins the serve race on the unperturbed
+            // schedule — so every program manifests on at least the base
+            // variant — while delay-bound skews (up to a few µs per
+            // delivery) flip the order on perturbed schedules: the
+            // measured manifestation rate is genuinely schedule-dependent.
+            if (r == bug.owner) {
+              if (rng.chance(0.5)) ops.push_back(make_sleep(rng));
+              ops.push_back(make_access(OpKind::kPut, bug.area));
+              ops.push_back(make_signal(bug.victim, ack_t1));
+              ops.push_back(make_timed(
+                  OpKind::kSleep, 2'400 + static_cast<sim::Time>(rng.below(4'000))));
+              ops.push_back(make_access(OpKind::kPut, bug.area));
+              ops.push_back(make_wait(ack_t2));
+            } else {
+              ops.push_back(make_wait(ack_t1));
+              ops.push_back(make_access(OpKind::kGet, bug.aux_area));
+              ops.push_back(make_access(access_kind(bug.victim_kind), bug.area));
+              ops.push_back(make_signal(bug.owner, ack_t2));
+            }
+            break;
+          case BugKind::kPartialBarrier: {
+            // The victim idles through the pre-skip phase (so its probe in
+            // the next phase starts early); the owner runs nothing but a
+            // forced compute before its contested write (no ordinary ops:
+            // any clock-merging op could transitively deliver the victim's
+            // access back into the owner and order the pair). On the base
+            // schedule the victim's probe is therefore served well before
+            // the write applies — guaranteed manifestation — while
+            // perturbation skews can push the probe past the apply and
+            // order the pair on perturbed variants.
+            if (r == bug.victim) {
+              ops.push_back(make_timed(
+                  OpKind::kSleep, 2'000 + static_cast<sim::Time>(rng.below(2'000))));
+            } else {
+              ops.push_back(make_timed(
+                  OpKind::kCompute, 6'000 + static_cast<sim::Time>(rng.below(3'000))));
+              ops.push_back(make_access(OpKind::kPut, bug.area));
+            }
+            ordinary = false;
+            break;
+          }
         }
-        Op racy;
-        racy.area = bug.area;
-        racy.kind = r == bug.owner                                   ? OpKind::kPut
-                    : bug.victim_kind == core::AccessKind::kWrite    ? OpKind::kPut
-                                                                     : OpKind::kGet;
-        ops.push_back(racy);
+      }
+      if (skip_phase && r == bug.victim) {
+        // The arrive-only rank right after its skipped barrier: maybe one
+        // probe get of the sibling area (a chance to merge the home's clock
+        // — the timing-dependent leak), then the contested access. Nothing
+        // else: the rank is unsynchronized until the next boundary.
+        if (rng.chance(0.6)) ops.push_back(make_access(OpKind::kGet, bug.aux_area));
+        ops.push_back(make_access(access_kind(bug.victim_kind), bug.area));
+        ordinary = false;
       }
 
       // Ordinary discipline-following ops (for racy ranks: after the racy
-      // access, where they can no longer affect the planted pair's clocks).
-      std::vector<Candidate> candidates;
-      for (int a = 0; a < config.areas; ++a) {
-        const auto& policy = policies[static_cast<std::size_t>(a)];
-        switch (policy.kind) {
-          case AreaPolicy::kExclusive:
-            if (policy.owner == r) candidates.push_back({a, true, false});
-            break;
-          case AreaPolicy::kReadShared:
-            candidates.push_back({a, false, false});
-            break;
-          case AreaPolicy::kLocked:
-            candidates.push_back({a, true, true});
-            break;
-          case AreaPolicy::kIdle:
-            break;
+      // prologue, where they can no longer affect the planted pair's
+      // clocks).
+      if (ordinary) {
+        std::vector<Candidate> candidates;
+        for (int a = 0; a < config.areas; ++a) {
+          const auto& policy = policies[static_cast<std::size_t>(a)];
+          switch (policy.kind) {
+            case AreaPolicy::kExclusive:
+              if (policy.owner == r) candidates.push_back({a, true, false});
+              break;
+            case AreaPolicy::kReadShared:
+              candidates.push_back({a, false, false});
+              break;
+            case AreaPolicy::kLocked:
+              candidates.push_back({a, true, true});
+              break;
+            case AreaPolicy::kIdle:
+              break;
+          }
         }
-      }
-      const auto count = 1 + rng.below(static_cast<std::uint64_t>(config.max_ops_per_rank));
-      for (std::uint64_t i = 0; i < count; ++i) {
-        if (candidates.empty() || !rng.chance(config.data_fraction)) {
-          ops.push_back(make_pause(rng));
-          continue;
+        const auto count = 1 + rng.below(static_cast<std::uint64_t>(config.max_ops_per_rank));
+        for (std::uint64_t i = 0; i < count; ++i) {
+          if (candidates.empty() || !rng.chance(config.data_fraction)) {
+            ops.push_back(make_pause(rng));
+            continue;
+          }
+          const auto& candidate = candidates[rng.below(candidates.size())];
+          ops.push_back(make_access(
+              candidate.writable && rng.chance(config.write_fraction) ? OpKind::kPut
+                                                                      : OpKind::kGet,
+              candidate.area, candidate.locked));
         }
-        const auto& candidate = candidates[rng.below(candidates.size())];
-        Op op;
-        op.area = candidate.area;
-        op.locked = candidate.locked;
-        op.kind = candidate.writable && rng.chance(config.write_fraction) ? OpKind::kPut
-                                                                          : OpKind::kGet;
-        ops.push_back(op);
       }
       phase.ops.push_back(std::move(ops));
+    }
+
+    // Point-to-point sync edges, woven between non-racy ranks. Each rank's
+    // sync ops appear in the one global edge order (insertion position only
+    // ever moves forward), which makes wait cycles impossible — see the
+    // header comment.
+    std::vector<int> eligible;
+    for (int r = 0; r < config.nprocs; ++r) {
+      if (sensitive && (r == bug.owner || r == bug.victim)) continue;
+      eligible.push_back(r);
+    }
+    if (eligible.size() >= 2 && config.max_sync_edges > 0) {
+      std::vector<std::size_t> frontier(static_cast<std::size_t>(config.nprocs), 0);
+      const auto edges = rng.below(static_cast<std::uint64_t>(config.max_sync_edges) + 1);
+      for (std::uint64_t e = 0; e < edges; ++e) {
+        const auto si = rng.below(eligible.size());
+        auto ti = rng.below(eligible.size() - 1);
+        if (ti >= si) ++ti;
+        const int sender = eligible[si];
+        const int receiver = eligible[ti];
+        const std::uint64_t tag = next_tag++;
+        auto weave = [&phase, &frontier, &rng](int rank, Op op) {
+          auto& row = phase.ops[static_cast<std::size_t>(rank)];
+          auto& front = frontier[static_cast<std::size_t>(rank)];
+          const auto pos = front + rng.below(row.size() - front + 1);
+          row.insert(row.begin() + static_cast<std::ptrdiff_t>(pos), op);
+          front = pos + 1;
+        };
+        weave(sender, make_signal(receiver, tag));
+        weave(receiver, make_wait(tag));
+      }
     }
     program.phases.push_back(std::move(phase));
   }

@@ -6,38 +6,60 @@
 //
 //  * exclusive(r) — only rank r touches the area this phase (unlocked
 //    reads/writes). Same-rank accesses are program-ordered; cross-phase
-//    accesses are barrier-ordered (puts are acked, so the apply clock
-//    reaches the barrier frontier).
+//    accesses are boundary-ordered (every BoundaryKind is a full frontier,
+//    and puts are acked, so the apply clock reaches the frontier).
 //  * read-shared  — any rank may read, nobody writes: no conflicting pair.
 //  * locked       — any rank may access, but only under the area's NIC
 //    lock. Handoff (+ acked puts / clock-merging gets) totally orders the
 //    critical sections, so every conflicting pair is ordered.
 //
-// Under the default WorldConfig (dual-clock, acked puts, lock handoff) no
-// schedule of such a program contains a concurrent conflicting pair: the
-// program is CLEAN on every (seed, perturbation).
+// On top of the data ops, phases carry point-to-point signal/wait edges and
+// non-barrier collective boundaries (fuzz::BoundaryKind). Both only ADD
+// happens-before edges and touch no shared area, so they never break the
+// discipline: under the default WorldConfig (dual-clock, acked puts, lock
+// handoff) no schedule of a clean program contains a concurrent conflicting
+// pair. Sync edges are woven in one global order per phase (each rank's
+// sync ops appear in that order), which rules out wait cycles: a deadlock
+// would need every blocked rank's pending signal to come after its blocking
+// wait, i.e. a strictly decreasing cycle of edge indices.
 //
-// "Planted bug" mode deliberately breaks the discipline once: one dedicated
-// area receives an unlocked write from an `owner` rank and an unlocked
-// access from a `victim` rank. Three structural rules make the pair
-// concurrent on EVERY schedule — which is what lets the fuzz harness
-// *demand* manifestation rather than merely permit it:
+// "Planted bug" mode breaks the discipline in one of four taxonomy shapes
+// (fuzz::BugKind):
 //
-//  1. the bug lives in phase 0 (no preceding barrier: a dissemination
-//     barrier is not an instantaneous frontier, and its in-flight signals
-//     can leak an early finisher's access to the other racy rank through a
-//     lagging node);
-//  2. each racy rank performs nothing but sleeps before its racy access
-//     (no clock-merging operation);
-//  3. during the bug phase no rank touches the bug area or ANY area homed
-//     at the owner, the victim, — serving an inbound request merges the
-//     requester's clock into the home node's clock, so such traffic could
-//     carry one racy access's clock into the other rank — and the bug
-//     area's home is a third rank (>= 3 ranks), because a home-rank party
-//     learns of applications at its own NIC for free.
+//  * kDroppedEdge (always manifests, Expectation::kRacy) — one dedicated
+//    area receives an unlocked write from `owner` and an unlocked access
+//    from `victim`. Three structural rules make the pair concurrent on
+//    EVERY schedule: (1) the bug lives in phase 0 (no preceding boundary
+//    whose in-flight signals could leak an ordering); (2) each racy rank
+//    performs nothing but sleeps before its racy access (no clock-merging
+//    op); (3) during the bug phase no rank touches the bug area or any
+//    area homed at the owner/victim (serving a request merges the
+//    requester's clock into the home node), and the bug area's home is a
+//    third rank.
+//  * kWrongLock (always manifests, kRacy) — the same three rules, but both
+//    sides run under a lock: the owner takes the contested area's own
+//    lock, the victim takes a *different* area's lock (homed at the same
+//    third rank, idle otherwise). Lock grants merge only the handoff clock
+//    of their own lock chain, so the two critical sections never order —
+//    the locking is real, and really wrong.
+//  * kPartialBarrier (schedule-dependent, Expectation::kSometimes) — the
+//    victim executes only the arrive half of one barrier boundary
+//    (Phase::skip_rank → Team::barrier_arrive), then probes a leak area
+//    homed with the contested area and finally accesses the area the owner
+//    wrote just before the barrier. Whether the pair races depends on
+//    whether the home served the victim's probes before or after the
+//    owner's write applied — a genuine timing race, measured as a
+//    manifestation rate.
+//  * kAckWindow (schedule-dependent, kSometimes) — a producer/consumer
+//    exchange where the producer's second put outruns the ack window: the
+//    consumer's probe get (to the sibling area on the same home) merges
+//    the home's clock at serve time, so the final access races exactly
+//    when the second put had not yet applied — again pure serve-order
+//    timing.
 //
-// With no possible happens-before path in either direction, both detector
-// modes must flag the pair on every (seed, perturbation).
+// The always-kinds oblige the harness to demand manifestation on every
+// (seed, perturbation); the sometimes-kinds oblige it to demand at least
+// one manifesting schedule and zero clean-schedule noise.
 #pragma once
 
 #include <cstdint>
@@ -58,7 +80,14 @@ struct GenConfig {
   double write_fraction = 0.55;       ///< among data ops where a write is legal.
   double locked_area_fraction = 0.3;  ///< areas per phase under the lock policy.
   double shared_read_fraction = 0.2;  ///< areas per phase that are read-shared.
-  bool plant_bug = false;             ///< drop one synchronization edge.
+  /// Share of phase entries (phase >= 1) that use a non-barrier collective
+  /// boundary (allreduce / gather+bcast / gather+scatter, random root).
+  double collective_fraction = 0.25;
+  /// Per phase, 0..max point-to-point signal/wait edges are woven between
+  /// non-racy ranks at random positions (deadlock-free by construction).
+  int max_sync_edges = 2;
+  bool plant_bug = false;             ///< plant `bug_kind`; else clean.
+  BugKind bug_kind = BugKind::kDroppedEdge;
   std::uint64_t seed = 1;
 };
 
@@ -66,6 +95,14 @@ struct GenConfig {
 /// fractions above. Unknown names return false and leave `config` untouched.
 bool apply_profile(const std::string& name, GenConfig& config);
 std::vector<std::string> profile_names();
+
+/// Whether `kind` can be planted into programs of this shape. All kinds
+/// need >= 3 ranks (owner, victim, and an uninvolved home); the non-
+/// dropped-edge kinds additionally need a same-home area pair
+/// (areas >= nprocs + 1), and kPartialBarrier a boundary to skip
+/// (phases >= 2).
+bool bug_kind_eligible(const GenConfig& config, BugKind kind);
+std::vector<BugKind> eligible_bug_kinds(const GenConfig& config);
 
 /// Deterministically generates one program: equal configs (seed included)
 /// produce byte-identical serializations, independent of any global state.

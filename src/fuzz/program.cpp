@@ -15,8 +15,20 @@ const char* to_string(OpKind kind) {
   switch (kind) {
     case OpKind::kPut: return "put";
     case OpKind::kGet: return "get";
+    case OpKind::kSignal: return "signal";
+    case OpKind::kWait: return "wait";
     case OpKind::kSleep: return "sleep";
     case OpKind::kCompute: return "compute";
+  }
+  return "?";
+}
+
+const char* to_string(BoundaryKind kind) {
+  switch (kind) {
+    case BoundaryKind::kBarrier: return "barrier";
+    case BoundaryKind::kAllreduce: return "allreduce";
+    case BoundaryKind::kGatherBcast: return "gatherbcast";
+    case BoundaryKind::kGatherScatter: return "gatherscatter";
   }
   return "?";
 }
@@ -25,8 +37,31 @@ const char* to_string(Expectation e) {
   switch (e) {
     case Expectation::kClean: return "clean";
     case Expectation::kRacy: return "racy";
+    case Expectation::kSometimes: return "sometimes";
   }
   return "?";
+}
+
+const char* to_string(BugKind kind) {
+  switch (kind) {
+    case BugKind::kDroppedEdge: return "dropped-edge";
+    case BugKind::kWrongLock: return "wrong-lock";
+    case BugKind::kPartialBarrier: return "partial-barrier";
+    case BugKind::kAckWindow: return "ack-window";
+  }
+  return "?";
+}
+
+std::optional<BugKind> parse_bug_kind(const std::string& text) {
+  for (const BugKind kind : all_bug_kinds()) {
+    if (text == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::vector<BugKind> all_bug_kinds() {
+  return {BugKind::kDroppedEdge, BugKind::kWrongLock, BugKind::kPartialBarrier,
+          BugKind::kAckWindow};
 }
 
 std::size_t Program::op_count() const {
@@ -40,6 +75,13 @@ std::size_t Program::op_count() const {
 // ---------------------------------------------------------------------------
 // Validation
 // ---------------------------------------------------------------------------
+
+namespace {
+
+bool is_data(OpKind kind) { return kind == OpKind::kPut || kind == OpKind::kGet; }
+bool is_sync(OpKind kind) { return kind == OpKind::kSignal || kind == OpKind::kWait; }
+
+}  // namespace
 
 bool validate(const Program& program, std::string* error) {
   auto fail = [error](const std::string& what) {
@@ -58,6 +100,21 @@ bool validate(const Program& program, std::string* error) {
   if (program.phases.size() > kMaxPhases) return fail("too many phases");
   for (std::size_t p = 0; p < program.phases.size(); ++p) {
     const auto& phase = program.phases[p];
+    const bool needs_root = phase.entry.kind == BoundaryKind::kGatherBcast ||
+                            phase.entry.kind == BoundaryKind::kGatherScatter;
+    if (p == 0 && phase.entry != Boundary{}) {
+      return fail("phase 0 has no entry boundary (must stay the default)");
+    }
+    if (phase.entry.root < 0 || phase.entry.root >= program.nprocs ||
+        (!needs_root && phase.entry.root != 0)) {
+      return fail("phase " + std::to_string(p) + " boundary root out of range");
+    }
+    if (phase.skip_rank != -1 &&
+        (p == 0 || phase.entry.kind != BoundaryKind::kBarrier ||
+         phase.skip_rank < 0 || phase.skip_rank >= program.nprocs)) {
+      return fail("phase " + std::to_string(p) +
+                  " skip rank needs a barrier entry and a rank in range");
+    }
     if (phase.ops.size() != static_cast<std::size_t>(program.nprocs)) {
       return fail("phase " + std::to_string(p) + " has " +
                   std::to_string(phase.ops.size()) + " op rows for " +
@@ -66,13 +123,36 @@ bool validate(const Program& program, std::string* error) {
     for (const auto& ops : phase.ops) {
       if (ops.size() > kMaxOpsPerRank) return fail("too many ops in one rank row");
       for (const auto& op : ops) {
-        const bool data = op.kind == OpKind::kPut || op.kind == OpKind::kGet;
-        if (data && (op.area < 0 || op.area >= program.areas)) {
-          return fail("op targets area " + std::to_string(op.area) + " of " +
-                      std::to_string(program.areas));
+        if (is_data(op.kind)) {
+          if (op.area < 0 || op.area >= program.areas) {
+            return fail("op targets area " + std::to_string(op.area) + " of " +
+                        std::to_string(program.areas));
+          }
+          if (!op.locked && op.lock != -1) return fail("unlocked op names a lock area");
+          if (op.locked && (op.lock < -1 || op.lock >= program.areas || op.lock == op.area)) {
+            return fail("lock area out of range (use -1 for the accessed area)");
+          }
+          if (op.peer != 0 || op.tag != 0 || op.duration != 0) {
+            return fail("data ops carry no peer/tag/duration");
+          }
+        } else if (is_sync(op.kind)) {
+          if (op.kind == OpKind::kSignal &&
+              (op.peer < 0 || op.peer >= program.nprocs)) {
+            return fail("signal peer out of range: " + std::to_string(op.peer));
+          }
+          if (op.kind == OpKind::kWait && op.peer != 0) {
+            return fail("wait ops carry no peer");
+          }
+          if (op.tag > kMaxSignalTag) return fail("signal tag out of range");
+          if (op.area != 0 || op.locked || op.lock != -1 || op.duration != 0) {
+            return fail("sync ops carry no area/lock/duration");
+          }
+        } else {
+          if (op.locked || op.lock != -1 || op.area != 0 || op.peer != 0 || op.tag != 0) {
+            return fail("sleep/compute ops carry no area/lock/peer/tag");
+          }
+          if (op.duration > kMaxDuration) return fail("duration out of range");
         }
-        if (!data && op.locked) return fail("sleep/compute ops cannot be locked");
-        if (!data && op.duration > kMaxDuration) return fail("duration out of range");
       }
     }
   }
@@ -83,6 +163,12 @@ bool validate(const Program& program, std::string* error) {
         bug.owner >= program.nprocs || bug.victim < 0 || bug.victim >= program.nprocs ||
         bug.owner == bug.victim) {
       return fail("planted-bug coordinates out of range");
+    }
+    const bool wants_aux = bug.kind != BugKind::kDroppedEdge;
+    if (wants_aux ? (bug.aux_area < 0 || bug.aux_area >= program.areas ||
+                     bug.aux_area == bug.area)
+                  : bug.aux_area != -1) {
+      return fail("planted-bug aux area out of range for its kind");
     }
   }
   return true;
@@ -96,29 +182,51 @@ std::string serialize(const Program& program) {
   std::string error;
   DSMR_REQUIRE(validate(program, &error), "serialize of invalid program: " << error);
   std::ostringstream out;
-  out << "dsmr-program v1\n";
+  out << "dsmr-program v2\n";
   out << "nprocs " << program.nprocs << "\n";
   out << "areas " << program.areas << "\n";
   out << "area_bytes " << program.area_bytes << "\n";
   out << "expect " << to_string(program.expect) << "\n";
   if (program.planted.has_value()) {
     const auto& bug = *program.planted;
-    out << "planted " << bug.phase << " " << bug.area << " " << bug.owner << " "
-        << bug.victim << " " << (bug.victim_kind == core::AccessKind::kWrite ? "W" : "R")
-        << "\n";
+    out << "planted " << to_string(bug.kind) << " " << bug.phase << " " << bug.area << " "
+        << bug.aux_area << " " << bug.owner << " " << bug.victim << " "
+        << (bug.victim_kind == core::AccessKind::kWrite ? "W" : "R") << "\n";
   }
   out << "phases " << program.phases.size() << "\n";
   for (std::size_t p = 0; p < program.phases.size(); ++p) {
-    out << "phase " << p << "\n";
     const auto& phase = program.phases[p];
+    out << "phase " << p;
+    switch (phase.entry.kind) {
+      case BoundaryKind::kBarrier:
+        if (phase.skip_rank != -1) out << " skip " << phase.skip_rank;
+        break;
+      case BoundaryKind::kAllreduce:
+        out << " allreduce";
+        break;
+      case BoundaryKind::kGatherBcast:
+        out << " gatherbcast " << phase.entry.root;
+        break;
+      case BoundaryKind::kGatherScatter:
+        out << " gatherscatter " << phase.entry.root;
+        break;
+    }
+    out << "\n";
     for (std::size_t r = 0; r < phase.ops.size(); ++r) {
       out << "rank " << r << " " << phase.ops[r].size() << "\n";
       for (const auto& op : phase.ops[r]) {
         switch (op.kind) {
           case OpKind::kPut:
           case OpKind::kGet:
-            out << to_string(op.kind) << " " << op.area << " " << (op.locked ? "l" : "u")
-                << "\n";
+            out << to_string(op.kind) << " " << op.area << " " << (op.locked ? "l" : "u");
+            if (op.locked && op.lock != -1) out << " " << op.lock;
+            out << "\n";
+            break;
+          case OpKind::kSignal:
+            out << "signal " << op.peer << " " << op.tag << "\n";
+            break;
+          case OpKind::kWait:
+            out << "wait " << op.tag << "\n";
             break;
           case OpKind::kSleep:
           case OpKind::kCompute:
@@ -168,8 +276,8 @@ std::optional<Program> parse_program(const std::string& text, std::string* error
   auto want_u64 = [](const std::string& tok) { return util::parse_u64(tok); };
 
   auto toks = next_tokens();
-  if (toks.size() != 2 || toks[0] != "dsmr-program" || toks[1] != "v1") {
-    return fail("expected header 'dsmr-program v1'");
+  if (toks.size() != 2 || toks[0] != "dsmr-program" || toks[1] != "v2") {
+    return fail("expected header 'dsmr-program v2'");
   }
 
   Program program;
@@ -202,30 +310,44 @@ std::optional<Program> parse_program(const std::string& text, std::string* error
   program.area_bytes = static_cast<std::uint32_t>(area_bytes);
 
   toks = next_tokens();
-  if (toks.size() != 2 || toks[0] != "expect") return fail("expected 'expect clean|racy'");
+  if (toks.size() != 2 || toks[0] != "expect") {
+    return fail("expected 'expect clean|racy|sometimes'");
+  }
   if (toks[1] == "clean") {
     program.expect = Expectation::kClean;
   } else if (toks[1] == "racy") {
     program.expect = Expectation::kRacy;
+  } else if (toks[1] == "sometimes") {
+    program.expect = Expectation::kSometimes;
   } else {
     return fail("unknown expectation '" + toks[1] + "'");
   }
 
   toks = next_tokens();
   if (!toks.empty() && toks[0] == "planted") {
-    if (toks.size() != 6) return fail("planted needs: phase area owner victim W|R");
-    PlantedBug bug;
-    std::array<int*, 4> fields = {&bug.phase, &bug.area, &bug.owner, &bug.victim};
-    for (std::size_t i = 0; i < fields.size(); ++i) {
-      const auto value = want_u64(toks[i + 1]);
-      if (!value || *value > static_cast<std::uint64_t>(kMaxAreas)) {
-        return fail("bad planted field '" + toks[i + 1] + "'");
-      }
-      *fields[i] = static_cast<int>(*value);
+    if (toks.size() != 8) {
+      return fail("planted needs: kind phase area aux owner victim W|R");
     }
-    if (toks[5] == "W") {
+    PlantedBug bug;
+    const auto kind = parse_bug_kind(toks[1]);
+    if (!kind) return fail("unknown planted kind '" + toks[1] + "'");
+    bug.kind = *kind;
+    std::array<std::pair<int*, bool>, 5> fields = {{{&bug.phase, false},
+                                                    {&bug.area, false},
+                                                    {&bug.aux_area, true},
+                                                    {&bug.owner, false},
+                                                    {&bug.victim, false}}};
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      const auto value = util::parse_i64(toks[i + 2]);
+      const std::int64_t min = fields[i].second ? -1 : 0;
+      if (!value || *value < min || *value > kMaxAreas) {
+        return fail("bad planted field '" + toks[i + 2] + "'");
+      }
+      *fields[i].first = static_cast<int>(*value);
+    }
+    if (toks[7] == "W") {
       bug.victim_kind = core::AccessKind::kWrite;
-    } else if (toks[5] == "R") {
+    } else if (toks[7] == "R") {
       bug.victim_kind = core::AccessKind::kRead;
     } else {
       return fail("planted kind must be W or R");
@@ -243,10 +365,31 @@ std::optional<Program> parse_program(const std::string& text, std::string* error
 
   for (std::uint64_t p = 0; p < declared_phases; ++p) {
     toks = next_tokens();
-    if (toks.size() != 2 || toks[0] != "phase" || want_u64(toks[1]) != p) {
+    if (toks.size() < 2 || toks[0] != "phase" || want_u64(toks[1]) != p) {
       return fail("expected 'phase " + std::to_string(p) + "'");
     }
     Phase phase;
+    if (toks.size() == 2) {
+      // Default barrier entry.
+    } else if (toks.size() == 3 && toks[2] == "allreduce") {
+      phase.entry.kind = BoundaryKind::kAllreduce;
+    } else if (toks.size() == 4 &&
+               (toks[2] == "gatherbcast" || toks[2] == "gatherscatter" ||
+                toks[2] == "skip")) {
+      const auto value = want_u64(toks[3]);
+      if (!value || *value >= nprocs) {
+        return fail("boundary rank out of range: " + toks[3]);
+      }
+      if (toks[2] == "skip") {
+        phase.skip_rank = static_cast<int>(*value);
+      } else {
+        phase.entry.kind = toks[2] == "gatherbcast" ? BoundaryKind::kGatherBcast
+                                                    : BoundaryKind::kGatherScatter;
+        phase.entry.root = static_cast<int>(*value);
+      }
+    } else {
+      return fail("expected 'phase N [allreduce|gatherbcast R|gatherscatter R|skip R]'");
+    }
     for (int r = 0; r < program.nprocs; ++r) {
       toks = next_tokens();
       if (toks.size() != 3 || toks[0] != "rank" ||
@@ -262,8 +405,10 @@ std::optional<Program> parse_program(const std::string& text, std::string* error
         if (toks.empty()) return fail("unexpected end of program");
         Op op;
         if (toks[0] == "put" || toks[0] == "get") {
-          if (toks.size() != 3 || (toks[2] != "l" && toks[2] != "u")) {
-            return fail("expected '" + toks[0] + " <area> l|u'");
+          const bool with_lock_area = toks.size() == 4;
+          if ((toks.size() != 3 && !with_lock_area) ||
+              (toks[2] != "l" && toks[2] != "u") || (with_lock_area && toks[2] != "l")) {
+            return fail("expected '" + toks[0] + " <area> l|u [<lock-area>]'");
           }
           const auto area = want_u64(toks[1]);
           if (!area || *area >= static_cast<std::uint64_t>(program.areas)) {
@@ -272,6 +417,29 @@ std::optional<Program> parse_program(const std::string& text, std::string* error
           op.kind = toks[0] == "put" ? OpKind::kPut : OpKind::kGet;
           op.area = static_cast<int>(*area);
           op.locked = toks[2] == "l";
+          if (with_lock_area) {
+            const auto lock = want_u64(toks[3]);
+            if (!lock || *lock >= static_cast<std::uint64_t>(program.areas) ||
+                *lock == *area) {
+              return fail("lock area out of range: " + toks[3]);
+            }
+            op.lock = static_cast<int>(*lock);
+          }
+        } else if (toks[0] == "signal" || toks[0] == "wait") {
+          const bool is_signal = toks[0] == "signal";
+          if (toks.size() != (is_signal ? 3u : 2u)) {
+            return fail(is_signal ? "expected 'signal <peer> <tag>'"
+                                  : "expected 'wait <tag>'");
+          }
+          op.kind = is_signal ? OpKind::kSignal : OpKind::kWait;
+          if (is_signal) {
+            const auto peer = want_u64(toks[1]);
+            if (!peer || *peer >= nprocs) return fail("signal peer out of range: " + toks[1]);
+            op.peer = static_cast<int>(*peer);
+          }
+          const auto tag = want_u64(toks.back());
+          if (!tag || *tag > kMaxSignalTag) return fail("tag out of range: " + toks.back());
+          op.tag = *tag;
         } else if (toks[0] == "sleep" || toks[0] == "compute") {
           if (toks.size() != 2) return fail("expected '" + toks[0] + " <ns>'");
           const auto ns = want_u64(toks[1]);
@@ -308,6 +476,51 @@ namespace {
 using runtime::Process;
 using runtime::World;
 
+/// Executes one phase-entry boundary for this rank. Every kind is a full
+/// happens-before frontier (see BoundaryKind); the payloads are this rank's
+/// stamp — the values never affect detection, only the signal edges do.
+sim::Future<void> run_boundary(pgas::Team& team, const Phase& phase, Rank rank) {
+  const Rank root = static_cast<Rank>(phase.entry.root);
+  std::vector<std::byte> stamp(sizeof(std::uint64_t));
+  const auto value = static_cast<std::uint64_t>(rank) + 1;
+  std::memcpy(stamp.data(), &value, sizeof(value));
+  switch (phase.entry.kind) {
+    case BoundaryKind::kBarrier:
+      if (phase.skip_rank == rank) {
+        team.barrier_arrive();
+      } else {
+        co_await team.barrier();
+      }
+      break;
+    case BoundaryKind::kAllreduce:
+      co_await team.allreduce<std::uint64_t>(value, [](std::uint64_t a, std::uint64_t b) {
+        return a + b;
+      });
+      break;
+    case BoundaryKind::kGatherBcast: {
+      auto gathered = co_await team.gather(root, std::move(stamp));
+      std::vector<std::byte> sum(sizeof(std::uint64_t));
+      if (rank == root) {
+        std::uint64_t total = 0;
+        for (const auto& slice : gathered) {
+          std::uint64_t v = 0;
+          std::memcpy(&v, slice.data(), std::min(slice.size(), sizeof(v)));
+          total += v;
+        }
+        std::memcpy(sum.data(), &total, sizeof(total));
+      }
+      co_await team.broadcast(root, std::move(sum));
+      break;
+    }
+    case BoundaryKind::kGatherScatter: {
+      auto gathered = co_await team.gather(root, std::move(stamp));
+      if (rank != root) gathered.resize(0);
+      co_await team.scatter(root, std::move(gathered));
+      break;
+    }
+  }
+}
+
 sim::Task program_task(Process& p, std::shared_ptr<const Program> program,
                        std::vector<mem::GlobalAddress> areas) {
   pgas::Team team(p);
@@ -315,22 +528,31 @@ sim::Task program_task(Process& p, std::shared_ptr<const Program> program,
   // Deterministic payload stamp; the value itself never affects detection.
   std::uint64_t stamp = (static_cast<std::uint64_t>(p.rank()) + 1) << 32;
   for (std::size_t ph = 0; ph < program->phases.size(); ++ph) {
-    if (ph > 0) co_await team.barrier();
+    if (ph > 0) co_await run_boundary(team, program->phases[ph], p.rank());
     for (const Op& op : program->phases[ph].ops[rank]) {
+      const auto lock_area = [&op]() {
+        return static_cast<std::size_t>(op.lock == -1 ? op.area : op.lock);
+      };
       switch (op.kind) {
         case OpKind::kPut: {
-          if (op.locked) co_await p.lock(areas[static_cast<std::size_t>(op.area)]);
+          if (op.locked) co_await p.lock(areas[lock_area()]);
           std::vector<std::byte> bytes(program->area_bytes, std::byte{0});
           ++stamp;
           std::memcpy(bytes.data(), &stamp, std::min(sizeof(stamp), bytes.size()));
           co_await p.put(areas[static_cast<std::size_t>(op.area)], bytes);
-          if (op.locked) co_await p.unlock(areas[static_cast<std::size_t>(op.area)]);
+          if (op.locked) co_await p.unlock(areas[lock_area()]);
           break;
         }
         case OpKind::kGet:
-          if (op.locked) co_await p.lock(areas[static_cast<std::size_t>(op.area)]);
+          if (op.locked) co_await p.lock(areas[lock_area()]);
           co_await p.get(areas[static_cast<std::size_t>(op.area)], program->area_bytes);
-          if (op.locked) co_await p.unlock(areas[static_cast<std::size_t>(op.area)]);
+          if (op.locked) co_await p.unlock(areas[lock_area()]);
+          break;
+        case OpKind::kSignal:
+          p.signal(static_cast<Rank>(op.peer), op.tag);
+          break;
+        case OpKind::kWait:
+          co_await p.wait_signal(op.tag);
           break;
         case OpKind::kSleep:
           co_await p.sleep(op.duration);
@@ -375,10 +597,10 @@ analysis::Scenario to_scenario(std::shared_ptr<const Program> program,
                          " ranks, " + std::to_string(program->areas) + " areas, " +
                          std::to_string(program->op_count()) + " ops, expect " +
                          to_string(program->expect) + ")";
-  // A planted racy pair is concurrent on every schedule (see generate.hpp),
-  // but conformance's own grid-level expectation only distinguishes
-  // never/sometimes; the stronger "manifests everywhere" invariant lives in
-  // fuzz::check_program.
+  // An always-racy planted pair is concurrent on every schedule (see
+  // fuzz/generate.hpp), but conformance's own grid-level expectation only
+  // distinguishes never/sometimes; the stronger "manifests everywhere" and
+  // "manifests at least once" invariants live in fuzz::check_program.
   scenario.expect = program->expect == Expectation::kClean
                         ? analysis::RaceExpectation::kNever
                         : analysis::RaceExpectation::kSometimes;

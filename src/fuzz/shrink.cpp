@@ -1,6 +1,7 @@
 #include "fuzz/shrink.hpp"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "util/assert.hpp"
@@ -12,15 +13,63 @@ namespace {
 Program without_phase(const Program& program, std::size_t phase) {
   Program candidate = program;
   candidate.phases.erase(candidate.phases.begin() + static_cast<std::ptrdiff_t>(phase));
+  // The boundary belongs to the phase it enters: if the new first phase
+  // carried one, it disappears with its entry position.
+  if (phase == 0 && !candidate.phases.empty()) {
+    candidate.phases.front().entry = Boundary{};
+    candidate.phases.front().skip_rank = -1;
+  }
   return candidate;
+}
+
+/// Removes signal ops whose tag has no remaining wait and wait ops whose
+/// tag has no remaining signal — the structural cleanup that keeps rank
+/// removal from leaving trivially-deadlocked orphan waits behind. (A tag
+/// with both sides present is left alone even if the counts differ: an
+/// extra signal just queues.)
+void drop_unmatched_sync(Program& program) {
+  std::map<std::uint64_t, std::pair<int, int>> tags;  // tag -> (signals, waits)
+  for (const auto& phase : program.phases) {
+    for (const auto& ops : phase.ops) {
+      for (const auto& op : ops) {
+        if (op.kind == OpKind::kSignal) ++tags[op.tag].first;
+        if (op.kind == OpKind::kWait) ++tags[op.tag].second;
+      }
+    }
+  }
+  for (auto& phase : program.phases) {
+    for (auto& ops : phase.ops) {
+      std::erase_if(ops, [&tags](const Op& op) {
+        if (op.kind == OpKind::kSignal) return tags[op.tag].second == 0;
+        if (op.kind == OpKind::kWait) return tags[op.tag].first == 0;
+        return false;
+      });
+    }
+  }
 }
 
 Program without_rank(const Program& program, std::size_t rank) {
   Program candidate = program;
   candidate.nprocs -= 1;
+  const int removed = static_cast<int>(rank);
   for (auto& phase : candidate.phases) {
     phase.ops.erase(phase.ops.begin() + static_cast<std::ptrdiff_t>(rank));
+    // Rank-indexed structure renumbers; references to the removed rank
+    // degrade to the simplest valid form (the predicate is the arbiter).
+    if (phase.skip_rank == removed) phase.skip_rank = -1;
+    if (phase.skip_rank > removed) --phase.skip_rank;
+    if (phase.entry.root == removed) phase.entry = Boundary{};
+    if (phase.entry.root > removed) --phase.entry.root;
+    for (auto& ops : phase.ops) {
+      std::erase_if(ops, [removed](const Op& op) {
+        return op.kind == OpKind::kSignal && op.peer == removed;
+      });
+      for (auto& op : ops) {
+        if (op.kind == OpKind::kSignal && op.peer > removed) --op.peer;
+      }
+    }
   }
+  drop_unmatched_sync(candidate);
   return candidate;
 }
 
@@ -53,13 +102,43 @@ Program without_ops(const Program& program, const std::vector<OpRef>& refs,
   return candidate;
 }
 
+/// Removes every op carrying `tag` — both ends of a signal/wait edge at
+/// once, which drops sync edges without the intermediate orphan-wait
+/// (deadlocking, hence rejected) candidates the ddmin chunk walk produces.
+Program without_sync_tag(const Program& program, std::uint64_t tag) {
+  Program candidate = program;
+  for (auto& phase : candidate.phases) {
+    for (auto& ops : phase.ops) {
+      std::erase_if(ops, [tag](const Op& op) {
+        return (op.kind == OpKind::kSignal || op.kind == OpKind::kWait) && op.tag == tag;
+      });
+    }
+  }
+  return candidate;
+}
+
+std::set<std::uint64_t> sync_tags(const Program& program) {
+  std::set<std::uint64_t> tags;
+  for (const auto& phase : program.phases) {
+    for (const auto& ops : phase.ops) {
+      for (const auto& op : ops) {
+        if (op.kind == OpKind::kSignal || op.kind == OpKind::kWait) tags.insert(op.tag);
+      }
+    }
+  }
+  return tags;
+}
+
 /// Drops areas no op references and renumbers the survivors.
 Program compact_areas(const Program& program) {
   std::set<int> used;
   for (const auto& phase : program.phases) {
     for (const auto& ops : phase.ops) {
       for (const auto& op : ops) {
-        if (op.kind == OpKind::kPut || op.kind == OpKind::kGet) used.insert(op.area);
+        if (op.kind == OpKind::kPut || op.kind == OpKind::kGet) {
+          used.insert(op.area);
+          if (op.lock != -1) used.insert(op.lock);
+        }
       }
     }
   }
@@ -74,6 +153,7 @@ Program compact_areas(const Program& program) {
       for (auto& op : ops) {
         if (op.kind == OpKind::kPut || op.kind == OpKind::kGet) {
           op.area = remap[static_cast<std::size_t>(op.area)];
+          if (op.lock != -1) op.lock = remap[static_cast<std::size_t>(op.lock)];
         }
       }
     }
@@ -98,7 +178,8 @@ ShrinkResult shrink_program(const Program& initial, const StillFails& still_fail
     if (!budget_left()) return false;
     // A structural edit invalidates the planted-bug provenance coordinates
     // (and may leave them out of range); the behavioral predicate is the
-    // only source of truth for a shrink candidate.
+    // only source of truth for a shrink candidate. (The partial-barrier
+    // *behavior* is Phase::skip_rank — structural, so it survives.)
     candidate.planted.reset();
     ++result.attempts;
     if (!still_fails(candidate)) return false;
@@ -128,7 +209,29 @@ ShrinkResult shrink_program(const Program& initial, const StillFails& still_fail
       if (try_candidate(without_rank(result.program, r))) progress = true;
     }
 
-    // 3. Op chunks: halves, quarters, ..., single ops (classic ddmin
+    // 3. Boundary simplification: collective entries collapse to the plain
+    //    barrier (same frontier, less machinery), and a skipped barrier is
+    //    restored to a full one.
+    for (std::size_t p = 1; p < result.program.phases.size(); ++p) {
+      const auto& phase = result.program.phases[p];
+      if (phase.entry != Boundary{}) {
+        Program candidate = result.program;
+        candidate.phases[p].entry = Boundary{};
+        if (try_candidate(std::move(candidate))) progress = true;
+      }
+      if (result.program.phases[p].skip_rank != -1) {
+        Program candidate = result.program;
+        candidate.phases[p].skip_rank = -1;
+        if (try_candidate(std::move(candidate))) progress = true;
+      }
+    }
+
+    // 4. Whole signal/wait edges, both ends at once.
+    for (const std::uint64_t tag : sync_tags(result.program)) {
+      if (try_candidate(without_sync_tag(result.program, tag))) progress = true;
+    }
+
+    // 5. Op chunks: halves, quarters, ..., single ops (classic ddmin
     //    granularity walk over the flattened op list).
     for (std::size_t chunk = std::max<std::size_t>(result.program.op_count() / 2, 1);
          chunk >= 1; chunk /= 2) {
@@ -148,7 +251,7 @@ ShrinkResult shrink_program(const Program& initial, const StillFails& still_fail
     }
   }
 
-  // 4. Compact unused areas (pure renumbering; verify it preserves failure).
+  // 6. Compact unused areas (pure renumbering; verify it preserves failure).
   if (budget_left()) {
     const auto compacted = compact_areas(result.program);
     if (compacted.areas != result.program.areas) try_candidate(compacted);

@@ -5,15 +5,22 @@
 // the same invariant fires), the shrinker greedily applies structural
 // reductions, keeping each one only if the failure survives:
 //
-//  1. drop whole phases (and their barrier),
-//  2. drop whole processes (ranks renumber; area homes recompute),
-//  3. drop op chunks, ddmin-style (halves, quarters, ... single ops),
-//  4. drop unused areas (indices compact).
+//  1. drop whole phases (and their entry boundary),
+//  2. drop whole processes (ranks renumber; area homes recompute; signal
+//     peers, boundary roots and skip ranks remap; sync ops left without
+//     their counterpart are cleaned up),
+//  3. simplify boundaries (collective entries collapse to the plain
+//     barrier; a skipped barrier is restored to a full one),
+//  4. drop whole signal/wait edges (both ends of a tag at once),
+//  5. drop op chunks, ddmin-style (halves, quarters, ... single ops),
+//  6. drop unused areas (indices compact; wrong-lock areas count as used).
 //
-// Every reduction produces a valid program by construction (barriers are
-// phase boundaries, locked accesses are single ops), so the predicate is
-// the only arbiter. The shrink is fully deterministic: fixed visit order,
-// no randomness — the same input always shrinks to the same output.
+// Every reduction produces a valid program by construction (boundaries are
+// phase entries, locked accesses are single ops), so the predicate is the
+// only arbiter — a candidate that orphans a wait simply deadlocks, fails
+// the predicate, and is rejected. The shrink is fully deterministic: fixed
+// visit order, no randomness — the same input always shrinks to the same
+// output.
 //
 // Shrinking a program that does not fail at all is a no-op (the input is
 // returned unchanged, `changed == false`).

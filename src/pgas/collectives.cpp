@@ -14,6 +14,17 @@ sim::Future<void> Team::barrier() {
   }
 }
 
+void Team::barrier_arrive() {
+  const int n = self_.nprocs();
+  const Rank r = self_.rank();
+  const std::uint64_t epoch = barrier_epoch_++;
+  for (std::uint32_t round = 0; (1 << round) < n; ++round) {
+    const int dist = 1 << round;
+    const Rank to = static_cast<Rank>((r + dist) % n);
+    self_.signal(to, tag(kBarrier, epoch, round));
+  }
+}
+
 sim::Future<std::vector<std::byte>> Team::broadcast(Rank root,
                                                     std::vector<std::byte> data) {
   const int n = self_.nprocs();

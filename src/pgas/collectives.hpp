@@ -34,6 +34,17 @@ class Team {
   /// the barrier is a global happens-before frontier.
   sim::Future<void> barrier();
 
+  /// The *arrive* half of barrier() only: sends every round's signal
+  /// eagerly and never waits. Peers running the full barrier() still
+  /// complete (each round's wait is satisfied: eager senders deliver up
+  /// front, and full participants unlock inductively round by round), but
+  /// this rank gains no incoming happens-before edge — its next accesses
+  /// are unordered with the peers' pre-barrier work. This models the
+  /// classic partial-barrier synchronization bug; the fuzzer plants it
+  /// deliberately (fuzz::BugKind::kPartialBarrier). Consumes the same
+  /// barrier epoch as barrier(), so mixing the two stays tag-consistent.
+  void barrier_arrive();
+
   /// Binomial-tree broadcast of raw bytes from `root`.
   sim::Future<std::vector<std::byte>> broadcast(Rank root, std::vector<std::byte> data);
 

@@ -1,8 +1,14 @@
 // Tests for the program-space fuzzer: generator determinism and
-// construction guarantees, canonical serialization, the differential
-// harness hookup, the delta-debugging shrinker, and the repro/replay loop.
+// construction guarantees across the four-kind bug taxonomy, canonical
+// serialization (signal/wait ops, collective boundaries, wrong locks), the
+// differential harness hookup with kSometimes manifestation rates, the
+// delta-debugging shrinker on the new op kinds, the repro/replay loop, and
+// the coverage-guided seed scheduler.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <set>
 #include <string>
@@ -19,12 +25,14 @@
 namespace dsmr::fuzz {
 namespace {
 
-GenConfig small_config(std::uint64_t seed, bool plant) {
+GenConfig small_config(std::uint64_t seed, bool plant,
+                       BugKind kind = BugKind::kDroppedEdge) {
   GenConfig config;
   config.seed = seed;
   config.plant_bug = plant;
+  config.bug_kind = kind;
   config.nprocs = 4;
-  config.areas = 5;
+  config.areas = 5;  // >= nprocs + 1: every bug kind is eligible.
   config.phases = 2;
   config.max_ops_per_rank = 4;
   return config;
@@ -38,16 +46,26 @@ FuzzCheckOptions quick_check(int threads = 1) {
   return options;
 }
 
+/// A scratch directory fresh per use; gtest runs suites in one process, so
+/// a per-test suffix keeps them independent.
+std::string scratch_dir(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() / ("dsmr-fuzz-test-" + name);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
 // ---------------------------------------------------------------------------
 // Generator determinism
 // ---------------------------------------------------------------------------
 
 TEST(FuzzGenerate, SameSeedIsByteIdentical) {
-  for (const bool plant : {false, true}) {
-    const auto a = generate_program(small_config(42, plant));
-    const auto b = generate_program(small_config(42, plant));
-    EXPECT_EQ(a, b);
-    EXPECT_EQ(serialize(a), serialize(b));
+  for (const BugKind kind : all_bug_kinds()) {
+    for (const bool plant : {false, true}) {
+      const auto a = generate_program(small_config(42, plant, kind));
+      const auto b = generate_program(small_config(42, plant, kind));
+      EXPECT_EQ(a, b);
+      EXPECT_EQ(serialize(a), serialize(b));
+    }
   }
 }
 
@@ -82,17 +100,59 @@ TEST(FuzzGenerate, ProfilesAreKnownAndChangeTheMix) {
             serialize(generate_program(small_config(3, false))));
 }
 
+TEST(FuzzGenerate, SyncRichProgramsUseTheNewOps) {
+  // The signal/wait + collective slice really exercises the new surface.
+  GenConfig config = small_config(5, false);
+  ASSERT_TRUE(apply_profile("sync-rich", config));
+  std::uint64_t signals = 0, waits = 0, collectives = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    config.seed = seed;
+    const auto program = generate_program(config);
+    for (const auto& phase : program.phases) {
+      if (phase.entry.kind != BoundaryKind::kBarrier) ++collectives;
+      for (const auto& ops : phase.ops) {
+        for (const auto& op : ops) {
+          if (op.kind == OpKind::kSignal) ++signals;
+          if (op.kind == OpKind::kWait) ++waits;
+        }
+      }
+    }
+  }
+  EXPECT_GT(signals, 0u);
+  EXPECT_EQ(signals, waits);  // every edge has both ends.
+  EXPECT_GT(collectives, 0u);
+}
+
 TEST(FuzzGenerate, PlantedProgramsDeclareTheBug) {
-  const auto program = generate_program(small_config(11, true));
-  EXPECT_EQ(program.expect, Expectation::kRacy);
-  ASSERT_TRUE(program.planted.has_value());
-  const auto& bug = *program.planted;
-  // The construction rules (generate.hpp): bug in phase 0, home uninvolved.
-  EXPECT_EQ(bug.phase, 0);
-  EXPECT_NE(bug.owner, bug.victim);
-  const int home = bug.area % program.nprocs;
-  EXPECT_NE(home, bug.owner);
-  EXPECT_NE(home, bug.victim);
+  for (const BugKind kind : all_bug_kinds()) {
+    const auto program = generate_program(small_config(11, true, kind));
+    ASSERT_TRUE(program.planted.has_value()) << to_string(kind);
+    const auto& bug = *program.planted;
+    EXPECT_EQ(bug.kind, kind);
+    // Always-racy kinds promise every schedule; timing kinds only some.
+    EXPECT_EQ(program.expect,
+              kind == BugKind::kDroppedEdge || kind == BugKind::kWrongLock
+                  ? Expectation::kRacy
+                  : Expectation::kSometimes);
+    // The construction rules (generate.hpp): home uninvolved, distinct pair.
+    EXPECT_NE(bug.owner, bug.victim);
+    const int home = bug.area % program.nprocs;
+    EXPECT_NE(home, bug.owner);
+    EXPECT_NE(home, bug.victim);
+    if (kind == BugKind::kDroppedEdge) {
+      EXPECT_EQ(bug.phase, 0);
+      EXPECT_EQ(bug.aux_area, -1);
+    } else {
+      // The sibling area shares the home (area pair (a, a + nprocs)).
+      ASSERT_GE(bug.aux_area, 0);
+      EXPECT_EQ(bug.aux_area % program.nprocs, home);
+    }
+    if (kind == BugKind::kPartialBarrier) {
+      const auto& skipped = program.phases[static_cast<std::size_t>(bug.phase) + 1];
+      EXPECT_EQ(skipped.skip_rank, bug.victim);
+      EXPECT_EQ(skipped.entry.kind, BoundaryKind::kBarrier);
+    }
+  }
 }
 
 TEST(FuzzGenerateDeath, PlantedBugNeedsThreeRanks) {
@@ -101,21 +161,42 @@ TEST(FuzzGenerateDeath, PlantedBugNeedsThreeRanks) {
   EXPECT_DEATH(generate_program(config), ">= 3 ranks");
 }
 
+TEST(FuzzGenerate, EligibilityTracksTheShape) {
+  GenConfig config = small_config(1, false);
+  EXPECT_EQ(eligible_bug_kinds(config).size(), 4u);
+  config.phases = 1;  // no boundary to skip.
+  EXPECT_FALSE(bug_kind_eligible(config, BugKind::kPartialBarrier));
+  config.areas = config.nprocs;  // no same-home pair.
+  EXPECT_FALSE(bug_kind_eligible(config, BugKind::kWrongLock));
+  EXPECT_FALSE(bug_kind_eligible(config, BugKind::kAckWindow));
+  EXPECT_TRUE(bug_kind_eligible(config, BugKind::kDroppedEdge));
+  config.nprocs = 2;
+  EXPECT_TRUE(eligible_bug_kinds(config).empty());
+}
+
 // ---------------------------------------------------------------------------
 // Serialization
 // ---------------------------------------------------------------------------
 
 TEST(FuzzProgram, SerializeParseRoundTrip) {
-  for (const bool plant : {false, true}) {
-    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
-      const auto program = generate_program(small_config(seed, plant));
-      const auto text = serialize(program);
-      std::string error;
-      const auto parsed = parse_program(text, &error);
-      ASSERT_TRUE(parsed.has_value()) << error;
-      EXPECT_EQ(*parsed, program);
-      // Canonical: re-serialization is byte-identical.
-      EXPECT_EQ(serialize(*parsed), text);
+  GenConfig rich = small_config(1, false);
+  ASSERT_TRUE(apply_profile("sync-rich", rich));
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    rich.seed = seed;
+    for (const bool plant : {false, true}) {
+      for (const BugKind kind : all_bug_kinds()) {
+        rich.plant_bug = plant;
+        rich.bug_kind = kind;
+        const auto program = generate_program(rich);
+        const auto text = serialize(program);
+        std::string error;
+        const auto parsed = parse_program(text, &error);
+        ASSERT_TRUE(parsed.has_value()) << error;
+        EXPECT_EQ(*parsed, program);
+        // Canonical: re-serialization is byte-identical.
+        EXPECT_EQ(serialize(*parsed), text);
+        if (!plant) break;  // kinds only matter when planting.
+      }
     }
   }
 }
@@ -124,11 +205,12 @@ TEST(FuzzProgram, ParserRejectsMalformedInput) {
   const auto good = serialize(generate_program(small_config(1, true)));
   const std::vector<std::string> bad = {
       "",
-      "dsmr-program v2\n",
+      "dsmr-program v1\n",                        // the pre-taxonomy format.
+      "dsmr-program v3\n",
       good.substr(0, good.size() / 2),            // truncated.
       good + "trailing\n",                        // content after end.
-      "dsmr-program v1\nnprocs 0\n",              // out-of-range scalar.
-      "dsmr-program v1\nnprocs 2\nareas 1\narea_bytes 8\nexpect maybe\n",
+      "dsmr-program v2\nnprocs 0\n",              // out-of-range scalar.
+      "dsmr-program v2\nnprocs 2\nareas 1\narea_bytes 8\nexpect maybe\n",
   };
   for (const auto& text : bad) {
     std::string error;
@@ -143,15 +225,85 @@ TEST(FuzzProgram, ParserRejectsMalformedInput) {
   EXPECT_FALSE(parse_program(out_of_range).has_value());
 }
 
+TEST(FuzzProgram, ParserRejectsMalformedNewSyntax) {
+  const std::string head =
+      "dsmr-program v2\nnprocs 3\nareas 4\narea_bytes 8\nexpect clean\nphases 1\n";
+  auto one_rank_program = [&head](const std::string& op_lines, int op_count) {
+    return head + "phase 0\nrank 0 " + std::to_string(op_count) + "\n" + op_lines +
+           "rank 1 0\nrank 2 0\nend\n";
+  };
+  const std::vector<std::string> bad = {
+      one_rank_program("signal 3 1\n", 1),       // peer out of range.
+      one_rank_program("signal 1\n", 1),         // missing tag.
+      one_rank_program("wait 1 2\n", 1),         // wait has no peer.
+      one_rank_program("put 0 l 0\n", 1),        // lock == area is not canonical.
+      one_rank_program("put 0 u 1\n", 1),        // unlocked op with a lock area.
+      one_rank_program("wait 99999999999999999999\n", 1),  // tag overflow.
+      head + "phase 0 allreduce\nrank 0 0\nrank 1 0\nrank 2 0\nend\n",  // phase 0 entry.
+      head + "phase 0\nrank 0 0\nrank 1 0\nrank 2 0\nphase 1 gatherbcast 3\n",
+  };
+  for (const auto& text : bad) {
+    std::string error;
+    EXPECT_FALSE(parse_program(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty());
+  }
+  // The well-formed variants of the same constructs parse.
+  const auto good =
+      one_rank_program("signal 1 1\nwait 2\nput 0 l 1\nget 0 l\nput 0 u\n", 5);
+  std::string error;
+  EXPECT_TRUE(parse_program(good, &error).has_value()) << error;
+  // An unknown planted kind is rejected.
+  std::string planted = serialize(generate_program(small_config(2, true)));
+  const auto pos = planted.find("dropped-edge");
+  ASSERT_NE(pos, std::string::npos);
+  planted.replace(pos, 12, "no-such-kind");
+  EXPECT_FALSE(parse_program(planted).has_value());
+}
+
 TEST(FuzzProgram, OpCountCountsEveryRankAndPhase) {
   Program program;
   program.nprocs = 2;
   program.areas = 1;
   program.phases.resize(2);
-  program.phases[0].ops = {{Op{OpKind::kPut, 0, false, 0}}, {}};
-  program.phases[1].ops = {{Op{OpKind::kSleep, 0, false, 100}},
-                           {Op{OpKind::kGet, 0, true, 0}}};
+  Op put;
+  put.kind = OpKind::kPut;
+  Op sleep;
+  sleep.kind = OpKind::kSleep;
+  sleep.duration = 100;
+  Op wait;
+  wait.kind = OpKind::kWait;
+  wait.tag = 3;
+  program.phases[0].ops = {{put}, {}};
+  program.phases[1].ops = {{sleep}, {wait}};
   EXPECT_EQ(program.op_count(), 3u);
+}
+
+TEST(FuzzProgram, BoundaryKindsSpawnAndComplete) {
+  // Hand-built program exercising every boundary kind end-to-end: it must
+  // run to completion (no deadlock) and stay silent (each boundary is a
+  // full frontier ordering the cross-phase exclusive handoff).
+  Program program;
+  program.nprocs = 3;
+  program.areas = 3;
+  program.phases.resize(4);
+  const std::vector<Boundary> entries = {Boundary{},
+                                         Boundary{BoundaryKind::kAllreduce, 0},
+                                         Boundary{BoundaryKind::kGatherBcast, 1},
+                                         Boundary{BoundaryKind::kGatherScatter, 2}};
+  for (std::size_t p = 0; p < 4; ++p) {
+    program.phases[p].entry = entries[p];
+    Op put;
+    put.kind = OpKind::kPut;
+    // A different rank writes the same area each phase: only legal because
+    // the boundary is a frontier.
+    put.area = 0;
+    program.phases[p].ops.resize(3);
+    program.phases[p].ops[p % 3].push_back(put);
+  }
+  const auto verdict = check_program(program, quick_check());
+  EXPECT_TRUE(verdict.passed()) << verdict.failures.front().describe();
+  EXPECT_EQ(verdict.report.incomplete_runs, 0u);
+  EXPECT_EQ(verdict.report.runs_with_truth, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -159,34 +311,95 @@ TEST(FuzzProgram, OpCountCountsEveryRankAndPhase) {
 // ---------------------------------------------------------------------------
 
 TEST(FuzzHarness, CleanProgramsConformAndStaySilent) {
-  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     const auto program = generate_program(small_config(seed, false));
     const auto verdict = check_program(program, quick_check());
     EXPECT_TRUE(verdict.passed()) << "seed " << seed << ": "
                                   << verdict.failures.front().describe();
     EXPECT_EQ(verdict.report.runs_with_reports, 0u) << "seed " << seed;
     EXPECT_EQ(verdict.report.runs_with_truth, 0u) << "seed " << seed;
+    EXPECT_EQ(verdict.manifested_runs, 0u) << "seed " << seed;
+  }
+  // Clean programs from the sync-rich slice (signal/wait + collectives).
+  GenConfig rich = small_config(0, false);
+  ASSERT_TRUE(apply_profile("sync-rich", rich));
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    rich.seed = seed;
+    const auto verdict = check_program(generate_program(rich), quick_check());
+    EXPECT_TRUE(verdict.passed()) << "sync-rich seed " << seed << ": "
+                                  << verdict.failures.front().describe();
+    EXPECT_EQ(verdict.report.runs_with_reports, 0u) << "sync-rich seed " << seed;
   }
 }
 
-TEST(FuzzHarness, PlantedProgramsManifestOnEverySchedule) {
-  // The fuzz acceptance property at test scale: every planted program is
-  // racy in ground truth AND flagged by both detector modes AND live, on
-  // every explored (seed, perturbation) — with zero cross-detector
+TEST(FuzzHarness, AlwaysRacyKindsManifestOnEverySchedule) {
+  // The fuzz acceptance property at test scale: every always-racy planted
+  // program is racy in ground truth AND flagged by both detector modes AND
+  // live, on every explored (seed, perturbation) — with zero cross-detector
   // disagreements.
-  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
-    const auto program = generate_program(small_config(seed, true));
-    const auto verdict = check_program(program, quick_check());
-    EXPECT_TRUE(verdict.passed()) << "seed " << seed << ": "
-                                  << verdict.failures.front().describe();
-    for (const auto& run : verdict.report.runs) {
-      EXPECT_TRUE(run.completed);
-      EXPECT_GT(run.truth_pairs, 0u) << "seed " << seed;
-      EXPECT_GT(run.live_reports, 0u) << "seed " << seed;
-      EXPECT_GT(run.dual_flagged, 0u) << "seed " << seed;
-      EXPECT_GT(run.single_flagged, 0u) << "seed " << seed;
+  for (const BugKind kind : {BugKind::kDroppedEdge, BugKind::kWrongLock}) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const auto program = generate_program(small_config(seed, true, kind));
+      const auto verdict = check_program(program, quick_check());
+      EXPECT_TRUE(verdict.passed()) << to_string(kind) << " seed " << seed << ": "
+                                    << verdict.failures.front().describe();
+      EXPECT_EQ(verdict.manifested_runs, verdict.completed_runs);
+      EXPECT_EQ(verdict.manifestation_rate(), 1.0);
+      for (const auto& run : verdict.report.runs) {
+        EXPECT_TRUE(run.completed);
+        EXPECT_GT(run.truth_pairs, 0u) << to_string(kind) << " seed " << seed;
+        EXPECT_GT(run.live_reports, 0u) << to_string(kind) << " seed " << seed;
+        EXPECT_GT(run.dual_flagged, 0u) << to_string(kind) << " seed " << seed;
+        EXPECT_GT(run.single_flagged, 0u) << to_string(kind) << " seed " << seed;
+      }
     }
   }
+}
+
+TEST(FuzzHarness, SometimesKindsManifestAtLeastOnceWithoutNoise) {
+  // Schedule-dependent kinds: >= 1 manifesting schedule (the base variant
+  // by construction), a recorded rate, and zero reports on silent
+  // schedules (checked by the sometimes-noise invariant inside
+  // check_program — a failure here would surface it).
+  for (const BugKind kind : {BugKind::kPartialBarrier, BugKind::kAckWindow}) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const auto program = generate_program(small_config(seed, true, kind));
+      EXPECT_EQ(program.expect, Expectation::kSometimes);
+      const auto verdict = check_program(program, quick_check());
+      EXPECT_TRUE(verdict.passed()) << to_string(kind) << " seed " << seed << ": "
+                                    << verdict.failures.front().describe();
+      EXPECT_GE(verdict.manifested_runs, 1u) << to_string(kind) << " seed " << seed;
+      EXPECT_GT(verdict.manifestation_rate(), 0.0);
+      EXPECT_LE(verdict.manifestation_rate(), 1.0);
+      // The base (unperturbed) variant manifests by construction.
+      for (const auto& run : verdict.report.runs) {
+        if (!run.perturb.enabled()) {
+          EXPECT_GT(run.truth_pairs, 0u)
+              << to_string(kind) << " seed " << seed << " base schedule silent";
+        }
+      }
+    }
+  }
+}
+
+TEST(FuzzHarness, SometimesRatesAreScheduleDependentInAggregate) {
+  // Across a pile of ack-window programs and a perturbed grid, some
+  // schedule must order the pair (rate < 1 for at least one program) —
+  // the taxonomy's "schedule-dependent" claim, measured.
+  FuzzCheckOptions wide = quick_check();
+  wide.perturbations = {sim::PerturbConfig{}, sim::PerturbConfig{0, 8'000, 1},
+                        sim::PerturbConfig{0, 8'000, 2}};
+  std::uint64_t manifested = 0, completed = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto program =
+        generate_program(small_config(seed, true, BugKind::kAckWindow));
+    const auto verdict = check_program(program, wide);
+    manifested += verdict.manifested_runs;
+    completed += verdict.completed_runs;
+  }
+  ASSERT_GT(completed, 0u);
+  EXPECT_LT(manifested, completed);  // at least one ordered schedule.
+  EXPECT_GT(manifested, completed / 2);  // but manifestation dominates.
 }
 
 TEST(FuzzHarness, VerdictsIdenticalAcrossSerialAndThreadedSweeps) {
@@ -208,20 +421,24 @@ TEST(FuzzHarness, VerdictsIdenticalAcrossSerialAndThreadedSweeps) {
     EXPECT_EQ(a.failed_checks, b.failed_checks);
   }
   EXPECT_EQ(serial.failures.size(), threaded.failures.size());
+  EXPECT_EQ(serial.manifested_runs, threaded.manifested_runs);
 }
 
 TEST(FuzzHarness, VerdictsSurviveSerializationRoundTrip) {
   // A restarted process sees only the serialized program; its verdicts must
   // match the original generation's bit-for-bit.
-  const auto program = generate_program(small_config(31, true));
-  const auto reparsed = parse_program(serialize(program));
-  ASSERT_TRUE(reparsed.has_value());
-  const auto a = check_program(program, quick_check());
-  const auto b = check_program(*reparsed, quick_check());
-  ASSERT_EQ(a.report.runs.size(), b.report.runs.size());
-  for (std::size_t i = 0; i < a.report.runs.size(); ++i) {
-    EXPECT_EQ(a.report.runs[i].live_reports, b.report.runs[i].live_reports);
-    EXPECT_EQ(a.report.runs[i].truth_pairs, b.report.runs[i].truth_pairs);
+  for (const BugKind kind : {BugKind::kWrongLock, BugKind::kAckWindow}) {
+    const auto program = generate_program(small_config(31, true, kind));
+    const auto reparsed = parse_program(serialize(program));
+    ASSERT_TRUE(reparsed.has_value());
+    const auto a = check_program(program, quick_check());
+    const auto b = check_program(*reparsed, quick_check());
+    ASSERT_EQ(a.report.runs.size(), b.report.runs.size());
+    for (std::size_t i = 0; i < a.report.runs.size(); ++i) {
+      EXPECT_EQ(a.report.runs[i].live_reports, b.report.runs[i].live_reports);
+      EXPECT_EQ(a.report.runs[i].truth_pairs, b.report.runs[i].truth_pairs);
+    }
+    EXPECT_EQ(a.manifested_runs, b.manifested_runs);
   }
 }
 
@@ -241,6 +458,11 @@ TEST(FuzzHarness, GeneratedProgramsAreFirstClassScenarios) {
   const auto report = analysis::run_conformance(scenario, options);
   EXPECT_TRUE(report.passed()) << report.render();
   EXPECT_EQ(report.runs_with_reports, 0u);
+
+  // kSometimes programs map to the sometimes conformance expectation.
+  const auto sometimes = std::make_shared<const Program>(
+      generate_program(small_config(5, true, BugKind::kAckWindow)));
+  EXPECT_EQ(to_scenario(sometimes, "s").expect, analysis::RaceExpectation::kSometimes);
 }
 
 TEST(FuzzHarness, FaultHookForcesDisagreement) {
@@ -318,6 +540,58 @@ TEST(FuzzShrink, PlantedBugShrinksToAFewOpsStillRacing) {
   }
 }
 
+TEST(FuzzShrink, SyncRichProgramsShrinkThroughTheNewOps) {
+  // A planted bug buried under signal/wait edges and collective boundaries
+  // still minimizes: boundaries collapse to barriers, sync edges drop in
+  // matched pairs, and orphan-wait candidates (which deadlock) are simply
+  // rejected by the predicate rather than wedging the loop.
+  GenConfig config = small_config(13, true, BugKind::kWrongLock);
+  ASSERT_TRUE(apply_profile("sync-rich", config));
+  config.seed = 13;
+  config.plant_bug = true;
+  config.bug_kind = BugKind::kWrongLock;
+  const auto program = generate_program(config);
+  const auto predicate =
+      check_fires("planted-bug-not-detected", Fault::kDropLiveReports, 1, {});
+  ASSERT_TRUE(predicate(program));
+  const auto result = shrink_program(program, predicate);
+  EXPECT_TRUE(result.changed);
+  EXPECT_LE(result.final_ops, 12u);
+  // Everything ornamental is gone: no collective boundaries, no sync ops.
+  for (const auto& phase : result.program.phases) {
+    EXPECT_EQ(phase.entry, Boundary{});
+    for (const auto& ops : phase.ops) {
+      for (const auto& op : ops) {
+        EXPECT_NE(op.kind, OpKind::kSignal);
+        EXPECT_NE(op.kind, OpKind::kWait);
+      }
+    }
+  }
+  EXPECT_TRUE(predicate(result.program));
+}
+
+TEST(FuzzShrink, PartialBarrierSkipCollapsesWhenIrrelevant) {
+  // The arrive-only marker is structural (Phase::skip_rank), so shrinking
+  // a partial-barrier program under the fault hook keeps the failure alive
+  // and the boundary-restore stage drops the skip exactly when the planted
+  // race no longer needs it (the shrunk race is typically a bare pair that
+  // races regardless of the barrier).
+  const auto program = generate_program(small_config(7, true, BugKind::kPartialBarrier));
+  ASSERT_TRUE(std::any_of(program.phases.begin(), program.phases.end(),
+                          [](const Phase& p) { return p.skip_rank != -1; }));
+  // kSometimes programs fail the *sometimes* detection invariant under the
+  // fault hook (the base schedule manifests by construction).
+  const auto predicate =
+      check_fires("sometimes-bug-not-detected", Fault::kDropLiveReports, 1, {});
+  ASSERT_TRUE(predicate(program));
+  const auto result = shrink_program(program, predicate);
+  EXPECT_TRUE(result.changed);
+  EXPECT_LT(result.final_ops, result.initial_ops);
+  EXPECT_TRUE(predicate(result.program));
+  std::string error;
+  EXPECT_TRUE(validate(result.program, &error)) << error;
+}
+
 TEST(FuzzShrink, CleanProgramIsANoOp) {
   const auto program = generate_program(small_config(6, false));
   int calls = 0;
@@ -359,6 +633,8 @@ Repro make_repro() {
   repro.schedule_seed = 1;
   repro.perturb = sim::PerturbConfig{0, 4'000, 2};
   repro.shrunk = true;
+  repro.manifested = 3;
+  repro.schedules = 4;
   repro.program = generate_program(small_config(3, true));
   return repro;
 }
@@ -379,6 +655,24 @@ TEST(FuzzRepro, SerializeParseRoundTripIsByteIdentical) {
   EXPECT_EQ(serialize_repro(*parsed), text);
 }
 
+TEST(FuzzRepro, SometimesRepropreservesManifestationRate) {
+  // The measured-rate metadata of a kSometimes failure survives the
+  // serialize → parse → serialize loop bit-for-bit.
+  Repro repro = make_repro();
+  repro.check = "sometimes-bug-never-manifested";
+  repro.program = generate_program(small_config(4, true, BugKind::kAckWindow));
+  repro.manifested = 2;
+  repro.schedules = 6;
+  const auto text = serialize_repro(repro);
+  EXPECT_NE(text.find("manifestation 2 6"), std::string::npos);
+  const auto parsed = parse_repro(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->manifested, 2u);
+  EXPECT_EQ(parsed->schedules, 6u);
+  EXPECT_EQ(parsed->program.expect, Expectation::kSometimes);
+  EXPECT_EQ(serialize_repro(*parsed), text);
+}
+
 TEST(FuzzRepro, ReplayReproducesTheRecordedCheck) {
   const auto repro = make_repro();
   const auto fired = replay_repro(repro);
@@ -394,12 +688,19 @@ TEST(FuzzRepro, ReplayReproducesTheRecordedCheck) {
 
 TEST(FuzzRepro, ParserRejectsMalformedRepros) {
   const auto text = serialize_repro(make_repro());
-  const std::vector<std::string> bad = {
+  std::vector<std::string> bad = {
       "",
-      "dsmr-fuzz-repro v2\n",
+      "dsmr-fuzz-repro v1\n",                      // pre-taxonomy header.
+      "dsmr-fuzz-repro v3\n",
       text.substr(0, 40),                          // truncated head.
       text.substr(0, text.size() - 10),            // truncated program.
   };
+  // A v2 repro without the manifestation line is malformed.
+  std::string no_rate = text;
+  const auto rate_pos = no_rate.find("manifestation ");
+  ASSERT_NE(rate_pos, std::string::npos);
+  no_rate.erase(rate_pos, no_rate.find('\n', rate_pos) - rate_pos + 1);
+  bad.push_back(no_rate);
   for (const auto& candidate : bad) {
     std::string error;
     EXPECT_FALSE(parse_repro(candidate, &error).has_value());
@@ -417,6 +718,129 @@ TEST(FuzzRepro, FaultNamesRoundTrip) {
     EXPECT_EQ(parse_fault(to_string(fault)), fault);
   }
   EXPECT_FALSE(parse_fault("bogus").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Coverage signatures, corpus, and the seed scheduler
+// ---------------------------------------------------------------------------
+
+TEST(FuzzCoverage, ScheduleModeNamesRoundTrip) {
+  for (const ScheduleMode mode : {ScheduleMode::kUniform, ScheduleMode::kCoverage}) {
+    EXPECT_EQ(parse_schedule_mode(to_string(mode)), mode);
+    EXPECT_EQ(schedule_mode_from_name(to_string(mode)), mode);
+  }
+  EXPECT_FALSE(parse_schedule_mode("bogus").has_value());
+}
+
+TEST(FuzzCoverageDeath, UnknownScheduleModePanics) {
+  EXPECT_DEATH(schedule_mode_from_name("no-such-schedule"), "unknown schedule mode");
+}
+
+TEST(FuzzCoverageDeath, CorpusDirMustBeUsable) {
+  // A corpus path that collides with an existing regular file is a hard
+  // error, not a silently-empty corpus.
+  const auto dir = scratch_dir("corpus-file");
+  std::ofstream file(dir);  // create a FILE at the directory path.
+  file << "not a directory\n";
+  file.close();
+  EXPECT_DEATH(Corpus{dir}, "corpus");
+  std::filesystem::remove(dir);
+}
+
+TEST(FuzzCoverage, SignatureIsStableAndDiscriminates) {
+  const auto clean = generate_program(small_config(1, false));
+  const auto planted = generate_program(small_config(1, true, BugKind::kAckWindow));
+  const auto verdict_clean = check_program(clean, quick_check());
+  const auto verdict_planted = check_program(planted, quick_check());
+  EXPECT_EQ(coverage_signature(clean, verdict_clean),
+            coverage_signature(clean, verdict_clean));
+  EXPECT_NE(coverage_signature(clean, verdict_clean),
+            coverage_signature(planted, verdict_planted));
+  EXPECT_NE(coverage_signature(planted, verdict_planted)
+                .find("kind=ack-window"),
+            std::string::npos);
+}
+
+TEST(FuzzCoverage, CorpusPersistsAcrossInstances) {
+  const auto dir = scratch_dir("corpus-persist");
+  {
+    Corpus corpus(dir);
+    EXPECT_TRUE(corpus.add("sig-a", "mixed/clean", 1));
+    EXPECT_FALSE(corpus.add("sig-a", "mixed/clean", 2));  // duplicate.
+    EXPECT_TRUE(corpus.add("sig-b", "mixed/ack-window", 3));
+    corpus.flush();
+  }
+  Corpus reloaded(dir);
+  EXPECT_EQ(reloaded.size(), 2u);
+  EXPECT_TRUE(reloaded.known("sig-a"));
+  EXPECT_TRUE(reloaded.known("sig-b"));
+  EXPECT_FALSE(reloaded.known("sig-c"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FuzzSweep, SeedHashingIsDeterministic) {
+  EXPECT_EQ(plant_for_seed(7, 0.5), plant_for_seed(7, 0.5));
+  EXPECT_TRUE(plant_for_seed(7, 1.0));
+  EXPECT_FALSE(plant_for_seed(7, 0.0));
+  const auto kinds = all_bug_kinds();
+  EXPECT_EQ(kind_for_seed(11, kinds), kind_for_seed(11, kinds));
+}
+
+FuzzSweepConfig sweep_config(ScheduleMode mode, std::uint64_t programs) {
+  FuzzSweepConfig config;
+  config.base = small_config(0, false);
+  config.mode = mode;
+  config.seeds = util::SeedRange{1, programs};
+  config.bug_kinds = eligible_bug_kinds(config.base);
+  config.check.schedule_seeds = 1;
+  config.check.perturbations = {sim::PerturbConfig{}};
+  return config;
+}
+
+TEST(FuzzSweep, UniformSweepIsThreadCountInvariant) {
+  auto config = sweep_config(ScheduleMode::kUniform, 12);
+  config.threads = 1;
+  const auto serial = run_fuzz_sweep(config);
+  config.threads = 4;
+  const auto threaded = run_fuzz_sweep(config);
+  ASSERT_EQ(serial.outcomes.size(), threaded.outcomes.size());
+  for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+    EXPECT_EQ(serial.outcomes[i].program_seed, threaded.outcomes[i].program_seed);
+    EXPECT_EQ(serial.outcomes[i].arm, threaded.outcomes[i].arm);
+    EXPECT_EQ(serial.outcomes[i].signature, threaded.outcomes[i].signature);
+    EXPECT_EQ(serial.outcomes[i].manifested, threaded.outcomes[i].manifested);
+  }
+  EXPECT_EQ(serial.distinct_signatures, threaded.distinct_signatures);
+  EXPECT_EQ(serial.programs, 12u);
+  EXPECT_EQ(serial.kinds.count("clean"), 1u);
+}
+
+TEST(FuzzSweep, CoverageSchedulingBeatsUniformAtEqualBudget) {
+  // The acceptance property at test scale: at the same program budget, the
+  // novelty bandit (which roams profiles × bug kinds) reaches strictly
+  // more distinct coverage signatures than the single-profile uniform
+  // sweep. Both runs are deterministic, so this is a fixed comparison,
+  // not a statistical one.
+  const std::uint64_t budget = 40;
+  const auto uniform = run_fuzz_sweep(sweep_config(ScheduleMode::kUniform, budget));
+  const auto coverage = run_fuzz_sweep(sweep_config(ScheduleMode::kCoverage, budget));
+  EXPECT_EQ(uniform.programs, budget);
+  EXPECT_EQ(coverage.programs, budget);
+  EXPECT_GT(coverage.distinct_signatures, uniform.distinct_signatures);
+  // Coverage mode visits several arms, uniform only its one profile's.
+  std::set<std::string> uniform_arms, coverage_arms;
+  for (const auto& outcome : uniform.outcomes) uniform_arms.insert(outcome.arm);
+  for (const auto& outcome : coverage.outcomes) coverage_arms.insert(outcome.arm);
+  EXPECT_GT(coverage_arms.size(), uniform_arms.size());
+}
+
+TEST(FuzzSweep, BudgetCallbackStopsTheSweep) {
+  auto config = sweep_config(ScheduleMode::kUniform, 64);
+  int polls = 0;
+  config.out_of_budget = [&polls]() { return ++polls > 1; };
+  const auto result = run_fuzz_sweep(config);
+  EXPECT_TRUE(result.budget_hit);
+  EXPECT_LT(result.programs, 64u);
 }
 
 }  // namespace

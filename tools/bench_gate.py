@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh BENCH_overhead.json against the
+checked-in bench/baseline.json.
+
+Two classes of metric, treated differently:
+
+* wall-clock (``detector_check_ordered``) — the epoch fast-path kernel
+  cost, the headline perf claim. Absolute ns/op depends on the machine, so
+  the gate scores the *speedup* of the epoch path over the full-VC oracle
+  measured in the same run (machine speed cancels) and fails when the mean
+  speedup across clock widths drops more than the threshold (default 25%)
+  below the baseline's.
+* virtual-time / wire metrics (entries named ``*_virtual`` and every
+  ``bytes_per_op``) — pure simulator outputs, deterministic per seed, so
+  ANY drift is a semantic change (protocol message count, clock wire
+  format) and fails exactly. Refresh the baseline when the change is
+  intentional.
+
+Usage:
+  tools/bench_gate.py compare build/BENCH_overhead.json [--baseline bench/baseline.json]
+                              [--threshold 0.25]
+  tools/bench_gate.py refresh build/BENCH_overhead.json [--baseline bench/baseline.json]
+
+Exit status: 0 pass, 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def entry_key(entry):
+    return (entry["name"], tuple(sorted(entry["params"].items())))
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_gate: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    if "entries" not in data or not data["entries"]:
+        print(f"bench_gate: {path} has no bench entries", file=sys.stderr)
+        sys.exit(2)
+    return {entry_key(e): e for e in data["entries"]}
+
+
+def is_deterministic_virtual(key):
+    name, _ = key
+    return name.endswith("_virtual")
+
+
+def epoch_speedups(entries):
+    """Per clock width n: oracle ns/op ÷ epoch ns/op from the same run."""
+    by_path = {}
+    for (name, params), entry in entries.items():
+        if name != "detector_check_ordered":
+            continue
+        p = dict(params)
+        by_path.setdefault(p["n"], {})[p["path"]] = entry["ns_per_op"]
+    return {n: paths["oracle"] / paths["epoch"]
+            for n, paths in by_path.items()
+            if "oracle" in paths and "epoch" in paths and paths["epoch"] > 0}
+
+
+def compare(args):
+    fresh = load(args.json)
+    baseline = load(args.baseline)
+    failures = []
+
+    missing = [k for k in baseline if k not in fresh]
+    if missing:
+        for k in missing:
+            failures.append(f"baseline entry disappeared: {k[0]} {dict(k[1])}")
+
+    for key, base in baseline.items():
+        if key not in fresh:
+            continue
+        now = fresh[key]
+        name, params = key
+        if is_deterministic_virtual(key):
+            if now["ns_per_op"] != base["ns_per_op"]:
+                failures.append(
+                    f"{name} {dict(params)}: virtual ns drifted "
+                    f"{base['ns_per_op']} -> {now['ns_per_op']} (deterministic metric; "
+                    f"refresh the baseline if intentional)")
+        if now.get("bytes_per_op", 0) != base.get("bytes_per_op", 0):
+            failures.append(
+                f"{name} {dict(params)}: bytes/op drifted "
+                f"{base.get('bytes_per_op')} -> {now.get('bytes_per_op')} "
+                f"(wire-format metric; refresh the baseline if intentional)")
+
+    base_speedups = epoch_speedups(baseline)
+    fresh_speedups = epoch_speedups(fresh)
+    shared = sorted(set(base_speedups) & set(fresh_speedups), key=int)
+    if not shared:
+        failures.append("no epoch-vs-oracle entry pairs found to gate on")
+    else:
+        for n in shared:
+            print(f"epoch speedup at n={n}: baseline x{base_speedups[n]:.1f}, "
+                  f"now x{fresh_speedups[n]:.1f}")
+        base_mean = sum(base_speedups[n] for n in shared) / len(shared)
+        fresh_mean = sum(fresh_speedups[n] for n in shared) / len(shared)
+        floor = base_mean * (1.0 - args.threshold)
+        print(f"epoch fast path mean speedup: baseline x{base_mean:.1f}, "
+              f"now x{fresh_mean:.1f} (floor x{floor:.1f})")
+        if fresh_mean < floor:
+            failures.append(
+                f"epoch fast path regressed: mean speedup x{fresh_mean:.1f} "
+                f"fell below x{floor:.1f} (-{args.threshold:.0%} of baseline)")
+
+    for failure in failures:
+        print(f"BENCH GATE FAILURE: {failure}", file=sys.stderr)
+    if failures:
+        print("(refresh with: tools/bench_gate.py refresh <json>)", file=sys.stderr)
+        return 1
+    print("bench gate: OK")
+    return 0
+
+
+def refresh(args):
+    load(args.json)  # validate before overwriting the baseline.
+    try:
+        shutil.copyfile(args.json, args.baseline)
+    except OSError as err:
+        print(f"bench_gate: cannot write {args.baseline}: {err}", file=sys.stderr)
+        sys.exit(2)
+    print(f"bench_gate: baseline refreshed from {args.json} -> {args.baseline}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("command", choices=["compare", "refresh"])
+    parser.add_argument("json", help="fresh BENCH_overhead.json to evaluate")
+    parser.add_argument("--baseline", default="bench/baseline.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional regression of the epoch fast path")
+    args = parser.parse_args()
+    sys.exit(compare(args) if args.command == "compare" else refresh(args))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,13 +1,22 @@
 // dsmr_fuzz — program-space fuzzing with computable ground truth.
 //
 // Where dsmr_explore sweeps schedules of hand-written scenarios, dsmr_fuzz
-// generates the *programs* too: each program seed yields a random barrier-
-// phased PGAS workload whose race status is decided by construction
+// generates the *programs* too: each program seed yields a random
+// phase-structured PGAS workload (puts/gets, signal/wait edges, collective
+// phase boundaries) whose race status is decided by construction
 // (src/fuzz/generate.hpp) — clean programs must stay silent on every
-// schedule, planted-bug programs must be flagged by both detector modes on
-// every schedule. Every generated program runs through the full
+// schedule; always-racy planted bugs (dropped-edge, wrong-lock) must be
+// flagged by both detector modes on every schedule; schedule-dependent
+// planted bugs (partial-barrier, ack-window) must be flagged on at least
+// one schedule, never produce clean-schedule noise, and report a measured
+// manifestation rate. Every generated program runs through the full
 // differential conformance grid (epoch fast path vs full-VC oracle vs live
 // reports vs offline ground truth).
+//
+// Seed scheduling (`--schedule`): `uniform` sweeps the seed range with one
+// op-mix profile; `coverage` lets a novelty bandit pick (profile, bug-kind)
+// arms that keep producing unseen coverage signatures, optionally persisted
+// across runs with `--corpus-dir`.
 //
 // Any violated invariant is minimized by the delta-debugging shrinker and
 // written as a self-contained repro file that `--replay` re-runs
@@ -15,10 +24,12 @@
 //
 //   dsmr_fuzz [--seeds N|LO..HI] [--ranks N] [--areas N] [--phases N]
 //             [--ops N] [--area-bytes N] [--profile NAME]
-//             [--planted-fraction F] [--schedule-seeds K]
-//             [--perturbations K] [--perturb-min NS] [--perturb-max NS]
-//             [--threads N] [--budget-ms MS] [--json FILE]
-//             [--repro-dir DIR] [--no-shrink] [--fault MODE] [--verbose]
+//             [--planted-fraction F] [--bug-kinds all|K1,K2,...]
+//             [--schedule uniform|coverage] [--corpus-dir DIR]
+//             [--schedule-seeds K] [--perturbations K] [--perturb-min NS]
+//             [--perturb-max NS] [--threads N] [--budget-ms MS]
+//             [--json FILE] [--repro-dir DIR] [--no-shrink] [--fault MODE]
+//             [--verbose]
 //   dsmr_fuzz --replay FILE [--threads N]
 //
 // Exit status: 0 when every program conforms (or a --replay reproduces its
@@ -39,20 +50,12 @@
 #include "fuzz/shrink.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
-#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace dsmr;
 
 namespace {
-
-/// Deterministic planted/clean decision per program seed: a seed hash
-/// compared against the planted fraction, independent of generation order.
-bool plant_for_seed(std::uint64_t program_seed, double planted_fraction) {
-  const auto hash = util::SplitMix64(program_seed ^ 0x5eedf00dULL).next();
-  return static_cast<double>(hash >> 11) * 0x1.0p-53 < planted_fraction;
-}
 
 int run_replay(const std::string& path, int threads) {
   std::ifstream in(path);
@@ -75,10 +78,13 @@ int run_replay(const std::string& path, int threads) {
     return 1;
   }
   const auto fired = fuzz::replay_repro(*repro, threads);
-  std::printf("replay of %s: program_seed=%llu schedule_seed=%llu perturb=%s fault=%s\n",
+  std::printf("replay of %s: program_seed=%llu schedule_seed=%llu perturb=%s fault=%s "
+              "manifestation=%llu/%llu\n",
               path.c_str(), static_cast<unsigned long long>(repro->program_seed),
               static_cast<unsigned long long>(repro->schedule_seed),
-              repro->perturb.to_string().c_str(), fuzz::to_string(repro->fault));
+              repro->perturb.to_string().c_str(), fuzz::to_string(repro->fault),
+              static_cast<unsigned long long>(repro->manifested),
+              static_cast<unsigned long long>(repro->schedules));
   std::printf("recorded check: %s\nfired checks:  ", repro->check.c_str());
   if (fired.empty()) std::printf("(none)");
   for (const auto& name : fired) std::printf(" %s", name.c_str());
@@ -91,14 +97,44 @@ int run_replay(const std::string& path, int threads) {
 
 struct FailureRecord {
   std::uint64_t program_seed = 0;
+  std::string arm;
   std::string check;
   std::string detail;
   std::uint64_t schedule_seed = 0;
   sim::PerturbConfig perturb{};
+  std::uint64_t manifested = 0;
+  std::uint64_t schedules = 0;
   std::string repro_path;
   std::size_t ops_before = 0;
   std::size_t ops_after = 0;
 };
+
+/// Parses `--bug-kinds` ("all" or a comma list); exits 2 on unknown names.
+std::vector<fuzz::BugKind> parse_bug_kinds_or_die(const std::string& text) {
+  if (text == "all") return fuzz::all_bug_kinds();
+  std::vector<fuzz::BugKind> kinds;
+  std::istringstream in(text);
+  std::string name;
+  while (std::getline(in, name, ',')) {
+    const auto kind = fuzz::parse_bug_kind(name);
+    if (!kind) {
+      std::fprintf(stderr, "unknown --bug-kinds entry '%s' (known: all", name.c_str());
+      for (const auto known : fuzz::all_bug_kinds()) {
+        std::fprintf(stderr, ",%s", fuzz::to_string(known));
+      }
+      std::fprintf(stderr, ")\n");
+      std::exit(2);
+    }
+    if (std::find(kinds.begin(), kinds.end(), *kind) == kinds.end()) {
+      kinds.push_back(*kind);
+    }
+  }
+  if (kinds.empty()) {
+    std::fprintf(stderr, "--bug-kinds needs 'all' or a comma list of kinds\n");
+    std::exit(2);
+  }
+  return kinds;
+}
 
 }  // namespace
 
@@ -106,7 +142,9 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv,
                 "[--seeds N|LO..HI] [--ranks N] [--areas N] [--phases N] [--ops N] "
                 "[--area-bytes N] [--profile mixed|write-heavy|read-heavy|lock-heavy|"
-                "sync-sparse] [--planted-fraction F] [--schedule-seeds K] "
+                "sync-sparse|sync-rich] [--planted-fraction F] "
+                "[--bug-kinds all|dropped-edge,wrong-lock,partial-barrier,ack-window] "
+                "[--schedule uniform|coverage] [--corpus-dir DIR] [--schedule-seeds K] "
                 "[--perturbations K] [--perturb-min NS] [--perturb-max NS] "
                 "[--threads N] [--budget-ms MS] [--json FILE] [--repro-dir DIR] "
                 "[--no-shrink] [--fault none|drop-live-reports] [--verbose] | "
@@ -137,12 +175,30 @@ int main(int argc, char** argv) {
   gen.area_bytes =
       static_cast<std::uint32_t>(cli.get_int("area-bytes", gen.area_bytes));
   double planted_fraction = cli.get_double("planted-fraction", 0.5);
-  if (gen.nprocs < 3 && planted_fraction > 0.0) {
-    // A planted pair needs an uninvolved home rank (fuzz/generate.hpp).
-    std::fprintf(stderr,
-                 "note: --ranks %d < 3 cannot host planted bugs; generating "
-                 "clean programs only\n",
-                 gen.nprocs);
+  const std::string schedule_text = cli.get_string("schedule", "uniform");
+  const auto schedule = fuzz::parse_schedule_mode(schedule_text);
+  if (!schedule) {
+    std::fprintf(stderr, "unknown --schedule %s (uniform|coverage)\n",
+                 schedule_text.c_str());
+    return 2;
+  }
+  const std::string corpus_dir = cli.get_string("corpus-dir", "");
+  auto requested_kinds = parse_bug_kinds_or_die(cli.get_string("bug-kinds", "all"));
+  // Drop the kinds this program shape cannot host (loudly). An explicit
+  // request that leaves nothing plantable is a usage error.
+  std::vector<fuzz::BugKind> bug_kinds;
+  for (const auto kind : requested_kinds) {
+    if (fuzz::bug_kind_eligible(gen, kind)) {
+      bug_kinds.push_back(kind);
+    } else {
+      std::fprintf(stderr,
+                   "note: bug kind %s is infeasible at %d ranks / %d areas / %d "
+                   "phases; skipping it\n",
+                   fuzz::to_string(kind), gen.nprocs, gen.areas, gen.phases);
+    }
+  }
+  if (bug_kinds.empty() && planted_fraction > 0.0) {
+    std::fprintf(stderr, "note: no feasible bug kinds; generating clean programs only\n");
     planted_fraction = 0.0;
   }
   const auto schedule_seeds = cli.get_uint("schedule-seeds", 3);
@@ -167,25 +223,26 @@ int main(int argc, char** argv) {
   const bool verbose = cli.get_flag("verbose");
   cli.finish();
 
-  fuzz::FuzzCheckOptions check;
-  check.schedule_seeds = schedule_seeds;
-  // Parallelism lives on the *program* axis below (the independent one);
-  // each program's own grid runs serially on its worker.
-  check.threads = 1;
-  check.fault = *fault;
+  fuzz::FuzzSweepConfig sweep;
+  sweep.base = gen;
+  sweep.profile = profile;
+  sweep.mode = *schedule;
+  sweep.seeds = seeds;
+  sweep.planted_fraction = planted_fraction;
+  sweep.bug_kinds = bug_kinds;
+  sweep.threads = threads;
+  sweep.verbose = verbose;
+  sweep.corpus_dir = corpus_dir;
+  sweep.check.schedule_seeds = schedule_seeds;
+  // Parallelism lives on the *program* axis (the independent one); each
+  // program's own grid runs serially on its worker.
+  sweep.check.threads = 1;
+  sweep.check.fault = *fault;
   // Same semantics as dsmr_explore: K extra salted variants on top of the
   // always-present base schedule.
-  check.perturbations =
+  sweep.check.perturbations =
       sim::perturb_variants(static_cast<sim::Time>(perturb_min),
                             static_cast<sim::Time>(perturb_max), perturbations);
-
-  std::printf("--- dsmr_fuzz: seeds [%llu..%llu], profile %s, %llu schedule seed(s) × "
-              "%zu variant(s), %d thread(s)%s ---\n",
-              static_cast<unsigned long long>(seeds.first),
-              static_cast<unsigned long long>(seeds.first + seeds.count - 1),
-              profile.c_str(), static_cast<unsigned long long>(schedule_seeds),
-              check.perturbations.size(), threads,
-              *fault == fuzz::Fault::kNone ? "" : " [FAULT INJECTION ON]");
 
   const auto start = std::chrono::steady_clock::now();
   auto elapsed_ms = [&start]() {
@@ -193,102 +250,69 @@ int main(int argc, char** argv) {
                std::chrono::steady_clock::now() - start)
         .count();
   };
-
-  std::uint64_t programs = 0, planted = 0, clean = 0, schedules = 0;
-  bool budget_hit = false;
-  std::vector<FailureRecord> failures;
-
-  // Fan out over the program axis — programs are fully independent — on one
-  // pool for the whole run, in chunks so the wall-clock budget stays
-  // responsive. Each job writes its pre-assigned slot; everything below the
-  // sweep folds in seed order, so output and repros are deterministic.
-  struct ProgramOutcome {
-    bool ran = false;
-    bool planted = false;
-    std::uint64_t schedules = 0;
-    std::size_t ops = 0;
-    std::string rendered;  ///< report text (verbose only).
-    std::vector<analysis::Divergence> failures;
-  };
-  std::vector<ProgramOutcome> outcomes(seeds.count);
-  {
-    util::ThreadPool pool(threads);
-    const std::uint64_t chunk =
-        std::max<std::uint64_t>(static_cast<std::uint64_t>(threads) * 4, 1);
-    for (std::uint64_t next = 0; next < seeds.count; next += chunk) {
-      if (budget_ms > 0 && elapsed_ms() >= budget_ms) {
-        budget_hit = true;
-        break;
-      }
-      const std::uint64_t end = std::min(seeds.count, next + chunk);
-      for (std::uint64_t offset = next; offset < end; ++offset) {
-        pool.submit([offset, &outcomes, &seeds, &gen, &check, planted_fraction,
-                     verbose] {
-          const std::uint64_t program_seed = seeds.first + offset;
-          fuzz::GenConfig job_gen = gen;
-          job_gen.seed = program_seed;
-          job_gen.plant_bug = plant_for_seed(program_seed, planted_fraction);
-          const auto program = fuzz::generate_program(job_gen);
-          fuzz::FuzzCheckOptions job_check = check;
-          job_check.scenario_name = "fuzz-s" + std::to_string(program_seed);
-          const auto verdict = fuzz::check_program(program, job_check);
-
-          auto& out = outcomes[offset];
-          out.ran = true;
-          out.planted = job_gen.plant_bug;
-          out.schedules = verdict.report.runs.size();
-          out.ops = program.op_count();
-          if (verbose) {
-            out.rendered = std::string(fuzz::to_string(program.expect)) + ": " +
-                           verdict.report.render();
-          }
-          out.failures = verdict.failures;
-        });
-      }
-      pool.wait_idle();
-    }
+  if (budget_ms > 0) {
+    sweep.out_of_budget = [&elapsed_ms, budget_ms]() { return elapsed_ms() >= budget_ms; };
   }
 
-  for (std::uint64_t offset = 0; offset < seeds.count; ++offset) {
-    const auto& outcome = outcomes[offset];
+  std::printf("--- dsmr_fuzz: seeds [%llu..%llu], profile %s, schedule %s, %llu "
+              "schedule seed(s) × %zu variant(s), %d thread(s)%s ---\n",
+              static_cast<unsigned long long>(seeds.first),
+              static_cast<unsigned long long>(seeds.first + seeds.count - 1),
+              profile.c_str(), fuzz::to_string(*schedule),
+              static_cast<unsigned long long>(schedule_seeds),
+              sweep.check.perturbations.size(), threads,
+              *fault == fuzz::Fault::kNone ? "" : " [FAULT INJECTION ON]");
+
+  const auto result = fuzz::run_fuzz_sweep(sweep);
+
+  std::vector<FailureRecord> failures;
+  for (const auto& outcome : result.outcomes) {
     if (!outcome.ran) continue;  // past the budget cut.
-    const std::uint64_t program_seed = seeds.first + offset;
-    ++programs;
-    (outcome.planted ? planted : clean) += 1;
-    schedules += outcome.schedules;
     if (verbose) {
-      std::printf("s%llu %s\n", static_cast<unsigned long long>(program_seed),
-                  outcome.rendered.c_str());
+      std::printf("s%llu [%s] %s\n",
+                  static_cast<unsigned long long>(outcome.program_seed),
+                  outcome.arm.c_str(), outcome.rendered.c_str());
     }
     if (outcome.failures.empty()) continue;
 
-    // Regenerate the failing program (generation is deterministic and
-    // cheap), then minimize the first failure and write its repro.
-    gen.seed = program_seed;
-    gen.plant_bug = plant_for_seed(program_seed, planted_fraction);
-    const auto program = fuzz::generate_program(gen);
+    // Re-parse the failing program from its canonical text (the sweep keeps
+    // it: under coverage scheduling the arm, not just the seed, determined
+    // the generation), then minimize the first failure and write its repro.
+    std::string parse_error;
+    const auto program = fuzz::parse_program(outcome.program_text, &parse_error);
+    if (!program) {
+      std::fprintf(stderr, "internal: failing program does not re-parse: %s\n",
+                   parse_error.c_str());
+      return 2;
+    }
     const auto& first = outcome.failures.front();
     FailureRecord record;
-    record.program_seed = program_seed;
+    record.program_seed = outcome.program_seed;
+    record.arm = outcome.arm;
     record.check = fuzz::check_name(first.check);
     record.detail = first.detail.empty() ? first.check : first.detail;
     record.schedule_seed = first.seed;
     record.perturb = first.perturb;
-    record.ops_before = program.op_count();
+    record.manifested = outcome.manifested;
+    record.schedules = outcome.completed;
+    record.ops_before = program->op_count();
 
     fuzz::Repro repro;
     repro.check = record.check;
     repro.fault = *fault;
-    repro.program_seed = program_seed;
+    repro.program_seed = outcome.program_seed;
     repro.schedule_seed = first.seed;
     repro.perturb = first.perturb;
-    repro.program = program;
+    repro.manifested = outcome.manifested;
+    repro.schedules = outcome.completed;
+    repro.program = *program;
 
-    // planted-race-vanished indicts the generated program as a whole (see
-    // fuzz/harness.cpp): minimizing it would degenerate, so keep it intact.
-    const bool shrinkable = record.check != "planted-race-vanished";
+    // Grid-level generator indictments (see fuzz/harness.cpp) degenerate
+    // under single-coordinate minimization: keep those programs intact.
+    const bool shrinkable = record.check != "planted-race-vanished" &&
+                            record.check != "sometimes-bug-never-manifested";
     if (!no_shrink && shrinkable) {
-      fuzz::FuzzCheckOptions one = check;
+      fuzz::FuzzCheckOptions one = sweep.check;
       one.first_schedule_seed = first.seed;
       one.schedule_seeds = 1;
       one.perturbations = {first.perturb};
@@ -299,7 +323,7 @@ int main(int argc, char** argv) {
         }
         return false;
       };
-      const auto shrunk = fuzz::shrink_program(program, still_fails);
+      const auto shrunk = fuzz::shrink_program(*program, still_fails);
       repro.program = shrunk.program;
       repro.shrunk = shrunk.changed;
     }
@@ -307,8 +331,8 @@ int main(int argc, char** argv) {
 
     if (!repro_dir.empty()) {
       std::filesystem::create_directories(repro_dir);
-      record.repro_path = repro_dir + "/fuzz-s" + std::to_string(program_seed) + "-" +
-                          record.check + ".repro";
+      record.repro_path = repro_dir + "/fuzz-s" + std::to_string(outcome.program_seed) +
+                          "-" + record.check + ".repro";
       std::ofstream out(record.repro_path);
       out << fuzz::serialize_repro(repro);
       if (!out.good()) {
@@ -316,8 +340,9 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    std::printf("FAILURE s%llu: %s (seed=%llu perturb=%s, %zu -> %zu ops%s%s)\n",
-                static_cast<unsigned long long>(program_seed), record.check.c_str(),
+    std::printf("FAILURE s%llu [%s]: %s (seed=%llu perturb=%s, %zu -> %zu ops%s%s)\n",
+                static_cast<unsigned long long>(outcome.program_seed),
+                outcome.arm.c_str(), record.check.c_str(),
                 static_cast<unsigned long long>(record.schedule_seed),
                 record.perturb.to_string().c_str(), record.ops_before, record.ops_after,
                 record.repro_path.empty() ? "" : ", repro: ",
@@ -325,16 +350,34 @@ int main(int argc, char** argv) {
     failures.push_back(std::move(record));
   }
 
-  util::Table table({"programs", "planted", "clean", "schedules", "failures", "ms"});
-  table.add_row({util::Table::fmt_int(programs), util::Table::fmt_int(planted),
-                 util::Table::fmt_int(clean), util::Table::fmt_int(schedules),
+  util::Table table(
+      {"programs", "planted", "clean", "schedules", "signatures", "failures", "ms"});
+  table.add_row({util::Table::fmt_int(result.programs),
+                 util::Table::fmt_int(result.planted), util::Table::fmt_int(result.clean),
+                 util::Table::fmt_int(result.schedules),
+                 util::Table::fmt_int(result.distinct_signatures),
                  util::Table::fmt_int(failures.size()),
                  util::Table::fmt_int(static_cast<std::uint64_t>(elapsed_ms()))});
   std::printf("%s", table.render().c_str());
-  if (budget_hit) {
+
+  // The taxonomy table: bug kind → programs, manifestation, failures.
+  util::Table kinds_table(
+      {"kind", "programs", "manifested", "mean-rate", "failures"});
+  for (const auto& [kind, stats] : result.kinds) {
+    kinds_table.add_row({kind, util::Table::fmt_int(stats.programs),
+                         util::Table::fmt_int(stats.manifested_programs),
+                         util::Table::fmt(stats.mean_manifestation(), 3),
+                         util::Table::fmt_int(stats.failures)});
+  }
+  std::printf("%s", kinds_table.render().c_str());
+  if (!corpus_dir.empty()) {
+    std::printf("corpus: %llu new signature(s) appended to %s/signatures.tsv\n",
+                static_cast<unsigned long long>(result.corpus_new), corpus_dir.c_str());
+  }
+  if (result.budget_hit) {
     std::printf("stopped at --budget-ms %lld after %llu program(s)\n",
                 static_cast<long long>(budget_ms),
-                static_cast<unsigned long long>(programs));
+                static_cast<unsigned long long>(result.programs));
   }
 
   if (!json_path.empty()) {
@@ -345,22 +388,40 @@ int main(int argc, char** argv) {
     }
     out << "{\"tool\":\"dsmr_fuzz\",\"first_seed\":" << seeds.first
         << ",\"seed_count\":" << seeds.count << ",\"profile\":\""
-        << trace::json_escape(profile) << "\",\"ranks\":" << gen.nprocs
+        << trace::json_escape(profile) << "\",\"schedule\":\""
+        << fuzz::to_string(*schedule) << "\",\"ranks\":" << gen.nprocs
         << ",\"schedule_seeds\":" << schedule_seeds
-        << ",\"variants\":" << check.perturbations.size()
-        << ",\"fault\":\"" << fuzz::to_string(*fault) << "\",\"programs\":" << programs
-        << ",\"planted\":" << planted << ",\"clean\":" << clean
-        << ",\"schedules\":" << schedules << ",\"elapsed_ms\":" << elapsed_ms()
-        << ",\"budget_hit\":" << (budget_hit ? "true" : "false")
-        << ",\"passed\":" << (failures.empty() ? "true" : "false") << ",\"failures\":[";
+        << ",\"variants\":" << sweep.check.perturbations.size()
+        << ",\"fault\":\"" << fuzz::to_string(*fault)
+        << "\",\"programs\":" << result.programs << ",\"planted\":" << result.planted
+        << ",\"clean\":" << result.clean << ",\"schedules\":" << result.schedules
+        << ",\"signatures\":" << result.distinct_signatures
+        << ",\"corpus_new\":" << result.corpus_new << ",\"elapsed_ms\":" << elapsed_ms()
+        << ",\"budget_hit\":" << (result.budget_hit ? "true" : "false")
+        << ",\"passed\":" << (failures.empty() ? "true" : "false") << ",\"kinds\":[";
+    bool first_kind = true;
+    for (const auto& [kind, stats] : result.kinds) {
+      if (!first_kind) out << ",";
+      first_kind = false;
+      out << "{\"kind\":\"" << trace::json_escape(kind)
+          << "\",\"programs\":" << stats.programs
+          << ",\"manifested_programs\":" << stats.manifested_programs
+          << ",\"manifested_runs\":" << stats.manifested_runs
+          << ",\"completed_runs\":" << stats.completed_runs
+          << ",\"mean_manifestation\":" << stats.mean_manifestation()
+          << ",\"failures\":" << stats.failures << "}";
+    }
+    out << "],\"failures\":[";
     for (std::size_t i = 0; i < failures.size(); ++i) {
       const auto& f = failures[i];
       if (i > 0) out << ",";
-      out << "{\"program_seed\":" << f.program_seed << ",\"check\":\""
+      out << "{\"program_seed\":" << f.program_seed << ",\"arm\":\""
+          << trace::json_escape(f.arm) << "\",\"check\":\""
           << trace::json_escape(f.check) << "\",\"detail\":\""
           << trace::json_escape(f.detail) << "\",\"schedule_seed\":" << f.schedule_seed
           << ",\"perturb\":\"" << trace::json_escape(f.perturb.to_string())
-          << "\",\"ops_before\":" << f.ops_before << ",\"ops_after\":" << f.ops_after
+          << "\",\"manifested\":" << f.manifested << ",\"schedules\":" << f.schedules
+          << ",\"ops_before\":" << f.ops_before << ",\"ops_after\":" << f.ops_after
           << ",\"repro\":\"" << trace::json_escape(f.repro_path) << "\"}";
     }
     out << "]}\n";
@@ -374,6 +435,6 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("all %llu generated program(s) conformant\n",
-              static_cast<unsigned long long>(programs));
+              static_cast<unsigned long long>(result.programs));
   return 0;
 }
