@@ -1,6 +1,7 @@
 #include "analysis/conformance.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -170,13 +171,72 @@ std::set<std::uint64_t> writes_only(const core::EventLog& log,
   return writes;
 }
 
+/// Logical event names ("r<rank>.<idx>") indexed by event id. Per-rank issue
+/// order is program order, so these identities — unlike the raw ids, which
+/// follow global allocation order — line up across fault variants of the
+/// same (program, seed, perturbation).
+std::vector<std::string> logical_names(const core::EventLog& log) {
+  std::vector<std::string> names(log.size() + 1);
+  std::map<Rank, std::uint64_t> per_rank;
+  for (const auto& e : log.events()) {
+    std::ostringstream name;
+    name << "r" << e.rank << "." << per_rank[e.rank]++;
+    names[e.id] = name.str();
+  }
+  return names;
+}
+
+/// Canonical text of a pair set under logical names. Canonicalized twice:
+/// within each pair (a RacePair's (first, second) follows raw-id apply
+/// order, so the same logical pair can arrive flipped between fault
+/// variants) and across the set (the input is ordered by raw ids, whose
+/// order over the same logical pairs likewise differs between variants).
+std::string logical_pairs(const std::set<RacePair>& pairs,
+                          const std::vector<std::string>& names) {
+  std::vector<std::string> named;
+  named.reserve(pairs.size());
+  for (const auto& pair : pairs) {
+    std::string a = names[pair.first];
+    std::string b = names[pair.second];
+    if (b < a) std::swap(a, b);
+    named.push_back(a + "x" + b);
+  }
+  std::sort(named.begin(), named.end());
+  std::ostringstream out;
+  for (const auto& name : named) out << name << " ";
+  return out.str();
+}
+
+/// The single-clock replay's pair set is deliberately NOT part of the
+/// signature: §IV.D's merged clock makes its read verdicts approximate in
+/// both directions, and which read pairs it flags depends on the *apply
+/// order* at the home — which retransmission delay legitimately reshuffles.
+/// (Empirically: a clean program's single-clock read–read false positive
+/// appears or vanishes with a single retried message.) Its write verdicts
+/// need no separate leg — the cross-mode-writes invariant pins them to the
+/// dual set, which is signed.
+std::string verdict_signature(const core::EventLog& log, const GroundTruth& truth,
+                              const core::RaceLog& races, const ReplayResult& dual) {
+  const auto names = logical_names(log);
+  std::ostringstream out;
+  out << "truth{" << logical_pairs(truth.pairs, names) << "} reported{"
+      << logical_pairs(reported_pairs(races), names) << "} dual{"
+      << logical_pairs(dual.pairs, names) << "} areas{";
+  for (const auto& [home, area] : truth.racy_areas) out << home << ":" << area << " ";
+  out << "}";
+  return out.str();
+}
+
 }  // namespace
 
 RunVerdicts check_run(runtime::World& world, const runtime::RunReport& report) {
   RunVerdicts v;
   v.seed = world.config().seed;
   v.perturb = world.config().perturb;
+  v.fault = world.config().fault;
   v.completed = report.completed;
+  v.hit_event_cap = report.hit_event_cap;
+  v.diagnostic = report.diagnostic;
   v.live_reports = report.race_count;
   // A deadlocked or log-disabled run has no applied clocks to replay; the
   // grid layer decides whether the deadlock itself is a failure.
@@ -262,6 +322,8 @@ RunVerdicts check_run(runtime::World& world, const runtime::RunReport& report) {
       break;
     }
   }
+
+  v.signature = verdict_signature(log, truth, world.races(), dual_fast);
   return v;
 }
 
@@ -273,12 +335,19 @@ namespace {
 
 /// Deterministic, filesystem-safe name for one schedule's trace files.
 std::string schedule_stem(const std::string& scenario, std::uint64_t seed,
-                          const sim::PerturbConfig& perturb) {
+                          const sim::PerturbConfig& perturb,
+                          const net::FaultPlan& fault) {
   std::ostringstream out;
   out << scenario << "-seed" << seed;
   if (perturb.enabled()) {
     out << "-skew" << perturb.min_skew_ns << "-" << perturb.max_skew_ns << "-salt"
         << perturb.salt;
+  }
+  if (!(fault == net::FaultPlan{})) {
+    out << "-fault";
+    for (const char c : fault.to_string()) {
+      out << (std::isalnum(static_cast<unsigned char>(c)) ? c : '-');
+    }
   }
   return out.str();
 }
@@ -287,8 +356,9 @@ std::string schedule_stem(const std::string& scenario, std::uint64_t seed,
 
 std::string Divergence::describe() const {
   std::ostringstream out;
-  out << scenario << " seed=" << seed << " perturb=" << perturb.to_string() << " — "
-      << check;
+  out << scenario << " seed=" << seed << " perturb=" << perturb.to_string();
+  if (!(fault == net::FaultPlan{})) out << " fault=\"" << fault.to_string() << "\"";
+  out << " — " << check;
   if (!detail.empty()) out << " (" << detail << ")";
   if (!trace_jsonl.empty()) out << " [trace: " << trace_jsonl << "]";
   return out.str();
@@ -303,19 +373,31 @@ ConformanceReport run_conformance(const Scenario& scenario,
                "scenario '" << scenario.name << "' needs ≥ " << scenario.min_ranks
                             << " ranks, got " << options.base.nprocs);
 
+  // Plan index 0 is always the fault-free base; fault variants follow
+  // plan-minor so every base run directly precedes the runs compared to it.
+  std::vector<net::FaultPlan> plans(1);
+  for (const auto& plan : options.fault_plans) {
+    DSMR_REQUIRE(plan.wire_enabled(), "conformance fault plan '" << plan.to_string()
+                                                                 << "' injects nothing");
+    plans.push_back(plan);
+  }
+  const std::uint64_t nplans = plans.size();
   const std::uint64_t variants = options.perturbations.size();
-  const std::uint64_t total = options.seeds * variants;
-  DSMR_REQUIRE(total / variants == options.seeds,
+  const std::uint64_t total = options.seeds * variants * nplans;
+  DSMR_REQUIRE(total / (variants * nplans) == options.seeds,
                "conformance grid size overflows: " << options.seeds << " seeds × "
-                                                   << variants << " variants");
+                                                   << variants << " variants × "
+                                                   << nplans << " plans");
 
-  // Fan out: one World per (seed, perturbation), each job writing its
+  // Fan out: one World per (seed, perturbation, plan), each job writing its
   // pre-assigned slot so aggregation order never depends on thread timing.
   std::vector<RunVerdicts> runs(total);
   util::parallel_for(total, options.threads, [&](std::uint64_t index) {
     runtime::WorldConfig config = options.base;
-    config.seed = options.first_seed + index / variants;
-    config.perturb = options.perturbations[index % variants];
+    const std::uint64_t point = index / nplans;
+    config.seed = options.first_seed + point / variants;
+    config.perturb = options.perturbations[point % variants];
+    config.fault = plans[index % nplans];
     runtime::World world(config);
     scenario.spawn(world);
     const auto report = world.run();
@@ -326,21 +408,15 @@ ConformanceReport run_conformance(const Scenario& scenario,
   summary.scenario = scenario.name;
   summary.expect = scenario.expect;
   summary.runs = std::move(runs);
+  summary.base_schedules = options.seeds * variants;
 
   auto diverge = [&summary, &scenario](const RunVerdicts& run, std::string check,
                                        std::string detail) {
     summary.disagreements.push_back(Divergence{scenario.name, run.seed, run.perturb,
-                                               std::move(check), std::move(detail), "", ""});
+                                               run.fault, std::move(check),
+                                               std::move(detail), "", ""});
   };
-
-  for (const auto& run : summary.runs) {
-    if (run.live_reports > 0) ++summary.runs_with_reports;
-    if (run.truth_pairs > 0) ++summary.runs_with_truth;
-    if (!run.completed) {
-      ++summary.incomplete_runs;
-      if (!scenario.may_deadlock) diverge(run, "unexpected-deadlock", "");
-      continue;
-    }
+  auto split_failed_checks = [&diverge](const RunVerdicts& run) {
     for (const auto& check : run.failed_checks) {
       // failed_checks entries are "name: detail"; split them so the JSON
       // artifact's check field is a stable name like the grid-level checks.
@@ -351,6 +427,20 @@ ConformanceReport run_conformance(const Scenario& scenario,
         diverge(run, check.substr(0, colon), check.substr(colon + 2));
       }
     }
+  };
+
+  for (std::uint64_t index = 0; index < summary.runs.size(); ++index) {
+    const auto& run = summary.runs[index];
+    if (index % nplans != 0) continue;  // fault runs handled below.
+    if (run.live_reports > 0) ++summary.runs_with_reports;
+    if (run.truth_pairs > 0) ++summary.runs_with_truth;
+    if (!run.completed) {
+      ++summary.incomplete_runs;
+      if (!run.diagnostic.empty()) ++summary.watchdog_runs;
+      if (!scenario.may_deadlock) diverge(run, "unexpected-deadlock", run.diagnostic);
+      continue;
+    }
+    split_failed_checks(run);
     if (scenario.expect == RaceExpectation::kNever &&
         (run.live_reports > 0 || run.truth_pairs > 0)) {
       std::ostringstream detail;
@@ -360,6 +450,56 @@ ConformanceReport run_conformance(const Scenario& scenario,
     }
     if (!run.lockset_covers_truth) ++summary.lockset_divergences;
     summary.min_area_recall = std::min(summary.min_area_recall, run.area_recall);
+  }
+
+  // The fault invariants: each fault run against its own base.
+  for (std::uint64_t index = 0; index < summary.runs.size(); ++index) {
+    if (index % nplans == 0) continue;
+    const auto& run = summary.runs[index];
+    const auto& base = summary.runs[index - index % nplans];
+    ++summary.fault_runs;
+    if (!run.diagnostic.empty()) ++summary.watchdog_runs;
+
+    if (run.hit_event_cap) {
+      // Neither plan class may spin forever: recoverable plans must deliver,
+      // unrecoverable plans must give up (retry cap) and drain.
+      diverge(run, "fault-hang", "event cap hit under fault plan");
+      continue;
+    }
+    if (run.fault.recoverable()) {
+      if (!run.completed) {
+        if (base.completed) diverge(run, "fault-not-recovered", run.diagnostic);
+        // Base deadlocked too (may_deadlock scenario): nothing to hold the
+        // fault run to.
+        continue;
+      }
+      split_failed_checks(run);
+      const bool transparent = base.completed && run.signature == base.signature;
+      if (transparent) ++summary.fault_transparent_runs;
+      if (options.expect_fault_transparency &&
+          scenario.expect == RaceExpectation::kNever && base.completed &&
+          !transparent) {
+        std::ostringstream detail;
+        detail << "verdicts differ from fault-free run: base " << base.live_reports
+               << " reports/" << base.truth_pairs << " truth pairs, faulted "
+               << run.live_reports << " reports/" << run.truth_pairs
+               << " truth pairs";
+        diverge(run, "fault-transparency", detail.str());
+      }
+    } else {
+      if (run.completed) {
+        // The fault never bit (e.g. crash scheduled past quiescence) — fine,
+        // but the verdicts must then be the fault-free ones.
+        split_failed_checks(run);
+        if (base.completed && run.signature != base.signature) {
+          diverge(run, "unclean-failure",
+                  "unrecoverable plan completed with different verdicts");
+        }
+      } else if (run.diagnostic.empty()) {
+        diverge(run, "silent-non-quiescence",
+                "unrecoverable plan stopped without a watchdog diagnostic");
+      }
+    }
   }
 
   // Every disagreement gets a deterministic repro trace: re-run the exact
@@ -375,12 +515,15 @@ ConformanceReport run_conformance(const Scenario& scenario,
     std::map<std::pair<std::uint64_t, std::string>, std::pair<std::string, std::string>>
         exported;
     for (auto& divergence : summary.disagreements) {
-      const auto key = std::make_pair(divergence.seed, divergence.perturb.to_string());
+      const auto key = std::make_pair(
+          divergence.seed,
+          divergence.perturb.to_string() + "|" + divergence.fault.to_string());
       auto it = exported.find(key);
       if (it == exported.end()) {
         runtime::WorldConfig config = options.base;
         config.seed = divergence.seed;
         config.perturb = divergence.perturb;
+        config.fault = divergence.fault;
         runtime::World world(config);
         trace::MessageRecorder recorder(world.fabric());
         scenario.spawn(world);
@@ -388,7 +531,7 @@ ConformanceReport run_conformance(const Scenario& scenario,
 
         const std::string stem = options.trace_dir + "/" +
                                  schedule_stem(scenario.name, divergence.seed,
-                                               divergence.perturb);
+                                               divergence.perturb, divergence.fault);
         const std::string jsonl_path = stem + ".jsonl";
         const std::string chrome_path = stem + ".trace.json";
         std::ofstream jsonl(jsonl_path);
@@ -418,7 +561,12 @@ std::string ConformanceReport::render() const {
       << static_cast<int>(manifestation_rate() * 100.0) << "%), " << runs_with_truth
       << " with true races, " << incomplete_runs << " deadlocked, "
       << lockset_divergences << " lockset divergences, min area recall "
-      << min_area_recall << ", " << disagreements.size() << " disagreements";
+      << min_area_recall;
+  if (fault_runs > 0) {
+    out << ", " << fault_runs << " fault runs (" << fault_transparent_runs
+        << " transparent, " << watchdog_runs << " watchdog)";
+  }
+  out << ", " << disagreements.size() << " disagreements";
   for (const auto& divergence : disagreements) {
     out << "\n  DISAGREEMENT " << divergence.describe();
   }
@@ -432,12 +580,16 @@ void ConformanceReport::write_json(std::ostream& out) const {
       << ",\"incomplete\":" << incomplete_runs
       << ",\"manifestation_rate\":" << manifestation_rate()
       << ",\"lockset_divergences\":" << lockset_divergences
+      << ",\"base_schedules\":" << base_schedules << ",\"fault_runs\":" << fault_runs
+      << ",\"fault_transparent_runs\":" << fault_transparent_runs
+      << ",\"watchdog_runs\":" << watchdog_runs
       << ",\"min_area_recall\":" << min_area_recall << ",\"passed\":"
       << (passed() ? "true" : "false") << ",\"disagreements\":[";
   for (std::size_t i = 0; i < disagreements.size(); ++i) {
     const auto& d = disagreements[i];
     if (i > 0) out << ",";
     out << "{\"seed\":" << d.seed << ",\"perturb\":\"" << trace::json_escape(d.perturb.to_string())
+        << "\",\"fault\":\"" << trace::json_escape(d.fault.to_string())
         << "\",\"check\":\"" << trace::json_escape(d.check) << "\",\"detail\":\""
         << trace::json_escape(d.detail) << "\",\"trace_jsonl\":\""
         << trace::json_escape(d.trace_jsonl) << "\",\"trace_chrome\":\""
@@ -448,8 +600,10 @@ void ConformanceReport::write_json(std::ostream& out) const {
     const auto& r = runs[i];
     if (i > 0) out << ",";
     out << "{\"seed\":" << r.seed << ",\"perturb\":\""
-        << trace::json_escape(r.perturb.to_string()) << "\",\"completed\":"
-        << (r.completed ? "true" : "false") << ",\"reports\":" << r.live_reports
+        << trace::json_escape(r.perturb.to_string()) << "\",\"fault\":\""
+        << trace::json_escape(r.fault.to_string()) << "\",\"completed\":"
+        << (r.completed ? "true" : "false") << ",\"watchdog\":"
+        << (r.diagnostic.empty() ? "false" : "true") << ",\"reports\":" << r.live_reports
         << ",\"truth_pairs\":" << r.truth_pairs << ",\"truth_areas\":" << r.truth_areas
         << ",\"fast_flagged\":" << r.fast_flagged
         << ",\"oracle_flagged\":" << r.oracle_flagged

@@ -29,6 +29,22 @@
 // message-ordered programs (false positives) and write-read races that
 // never reach shared-modified state (false negatives). Divergences are
 // counted and reported, never failures.
+//
+// Fault axis (net/fault.hpp): when `ConformanceOptions::fault_plans` is
+// non-empty the grid becomes (seed × perturbation × (base + plans)) and two
+// robustness invariants join the differential checks:
+//  * fault-transparency — a *recoverable* plan (bounded loss/dup/delay,
+//    healing partitions, crash–restart) must leave the verdicts of a kNever
+//    scenario bit-identical to the fault-free run of the same (seed,
+//    perturbation): the reliable transport hides the fault. Verdicts are
+//    compared by a logical signature keyed on (rank, per-rank event index),
+//    since raw event-log ids shift when retries reshuffle global scheduling.
+//    kSometimes scenarios are exempt: their manifestation is schedule luck,
+//    which faults legitimately re-roll.
+//  * clean-failure — an *unrecoverable* plan (permanent crash or partition)
+//    must end in the quiescence watchdog's structured diagnostic: never a
+//    hang (event-cap hit), never a silent stop, and if the run does manage
+//    to complete, never verdicts that differ from the fault-free schedule.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +53,7 @@
 #include <vector>
 
 #include "analysis/seed_sweep.hpp"
+#include "net/fault.hpp"
 #include "runtime/world.hpp"
 #include "sim/perturb.hpp"
 
@@ -71,7 +88,24 @@ const Scenario* find_scenario(const std::string& name);
 struct RunVerdicts {
   std::uint64_t seed = 0;
   sim::PerturbConfig perturb{};
+  net::FaultPlan fault{};  ///< this run's wire-fault plan ("off" on base runs).
   bool completed = false;
+  bool hit_event_cap = false;  ///< stopped by max_events — a hang, not a deadlock.
+  /// The quiescence watchdog's dump; non-empty exactly when non-quiescent.
+  std::string diagnostic;
+  /// Schedule-comparable verdict fingerprint: ground-truth pairs, live
+  /// reported pairs, and the dual-clock replay pair set, all keyed by
+  /// logical (rank, per-rank issue index) event identities plus the truth
+  /// areas. Raw event-log ids depend on global allocation order, which
+  /// faults and retries reshuffle; per-rank issue order is program order,
+  /// so logical ids line up across fault variants of one (program, seed,
+  /// perturbation). The single-clock replay's pair set is deliberately
+  /// excluded: its read verdicts are approximate in both directions
+  /// (§IV.D) and genuinely timing-dependent, so they are not schedule-
+  /// invariant even on clean programs; its write verdicts are already
+  /// pinned to the dual set by the cross-mode-writes invariant. Empty for
+  /// incomplete runs. Fault-transparency compares these.
+  std::string signature;
   std::uint64_t live_reports = 0;      ///< production detector, during the run.
   std::uint64_t truth_pairs = 0;       ///< offline ground truth.
   std::uint64_t truth_areas = 0;
@@ -91,6 +125,7 @@ struct Divergence {
   std::string scenario;
   std::uint64_t seed = 0;
   sim::PerturbConfig perturb{};
+  net::FaultPlan fault{};   ///< the run's fault plan ("off" on base runs).
   std::string check;        ///< which invariant broke.
   std::string detail;
   std::string trace_jsonl;  ///< exported trace paths ("" when export off).
@@ -110,24 +145,40 @@ struct ConformanceOptions {
   /// When non-empty, disagreement schedules are re-run serially and their
   /// JSONL + Chrome traces written here.
   std::string trace_dir;
+  /// Fault plans to run *in addition to* the fault-free base of every
+  /// (seed, perturbation) point; the grid is plan-minor, so each base run
+  /// directly precedes its fault variants in `runs`. Plans must be
+  /// wire-enabled (net::FaultPlan::wire_enabled).
+  std::vector<net::FaultPlan> fault_plans;
+  /// Enforce the fault-transparency invariant on recoverable plans (kNever
+  /// scenarios only — kSometimes manifestation is schedule luck that faults
+  /// legitimately re-roll). The clean-failure invariant on unrecoverable
+  /// plans is always enforced.
+  bool expect_fault_transparency = true;
 };
 
 struct ConformanceReport {
   std::string scenario;
   RaceExpectation expect = RaceExpectation::kNever;
-  std::vector<RunVerdicts> runs;  ///< (seed-major, perturbation-minor) order.
-  std::uint64_t runs_with_reports = 0;
-  std::uint64_t runs_with_truth = 0;
-  std::uint64_t incomplete_runs = 0;
+  /// (seed-major, perturbation-mid, fault-plan-minor) order; plan index 0 of
+  /// every (seed, perturbation) point is the fault-free base run.
+  std::vector<RunVerdicts> runs;
+  std::uint64_t base_schedules = 0;       ///< fault-free grid points.
+  std::uint64_t runs_with_reports = 0;    ///< base runs only.
+  std::uint64_t runs_with_truth = 0;      ///< base runs only.
+  std::uint64_t incomplete_runs = 0;      ///< base runs only.
   std::uint64_t lockset_divergences = 0;  ///< informational, never failures.
+  std::uint64_t fault_runs = 0;              ///< runs under a fault plan.
+  std::uint64_t fault_transparent_runs = 0;  ///< fault runs verdict-identical to base.
+  std::uint64_t watchdog_runs = 0;  ///< non-quiescent runs that produced a diagnostic.
   double min_area_recall = 1.0;           ///< worst "was the datum flagged" score.
   std::vector<Divergence> disagreements;  ///< hard failures.
 
   bool passed() const { return disagreements.empty(); }
   double manifestation_rate() const {
-    return runs.empty() ? 0.0
-                        : static_cast<double>(runs_with_reports) /
-                              static_cast<double>(runs.size());
+    const double denom = static_cast<double>(
+        base_schedules != 0 ? base_schedules : runs.size());
+    return runs.empty() ? 0.0 : static_cast<double>(runs_with_reports) / denom;
   }
 
   std::string render() const;

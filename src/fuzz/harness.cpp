@@ -17,20 +17,6 @@
 
 namespace dsmr::fuzz {
 
-const char* to_string(Fault fault) {
-  switch (fault) {
-    case Fault::kNone: return "none";
-    case Fault::kDropLiveReports: return "drop-live-reports";
-  }
-  return "?";
-}
-
-std::optional<Fault> parse_fault(const std::string& text) {
-  if (text == "none") return Fault::kNone;
-  if (text == "drop-live-reports") return Fault::kDropLiveReports;
-  return std::nullopt;
-}
-
 std::string check_name(const std::string& check) {
   return check.substr(0, check.find(':'));
 }
@@ -53,25 +39,42 @@ ProgramVerdict check_program(const Program& program, const FuzzCheckOptions& opt
   grid.seeds = options.schedule_seeds;
   grid.threads = options.threads;
   grid.perturbations = options.perturbations;
+  // Wire-enabled plans ride the conformance fault axis; the harness runs its
+  // own (stricter) transparency check below, so the scenario-expectation-
+  // gated one in run_conformance is off. A drop-live-reports flag on any
+  // plan arms the detector-silence hook for the whole grid — that hook
+  // breaks the harness's *view* of the detector, not the wire.
+  bool drop_live = false;
+  for (const auto& plan : options.fault_plans) {
+    if (plan.drop_live_reports) drop_live = true;
+    if (plan.wire_enabled()) grid.fault_plans.push_back(plan);
+  }
+  grid.expect_fault_transparency = false;
+  // Plan-minor run order: index % nplans == 0 is the fault-free base run of
+  // its (seed, perturbation) point.
+  const std::size_t nplans = 1 + grid.fault_plans.size();
 
   ProgramVerdict verdict;
   verdict.report = analysis::run_conformance(scenario, grid);
   verdict.failures = verdict.report.disagreements;
-  for (const auto& run : verdict.report.runs) {
-    if (!run.completed) continue;
+  const auto& runs = verdict.report.runs;
+  for (std::size_t i = 0; i < runs.size(); i += nplans) {
+    if (!runs[i].completed) continue;
     ++verdict.completed_runs;
-    if (run.truth_pairs > 0) ++verdict.manifested_runs;
+    if (runs[i].truth_pairs > 0) ++verdict.manifested_runs;
   }
 
-  // Fuzz-only invariants from the construction guarantees.
+  // Fuzz-only invariants from the construction guarantees. They quantify
+  // over the fault-free grid: a fault variant is a different (but still
+  // legal) schedule, held to the transparency check below instead.
   if (program.expect == Expectation::kRacy) {
     // An always-racy planted pair is concurrent on every schedule, so every
     // completed run must see it — in ground truth, in both detector modes'
     // replays, and live (modulo the test-only fault hook).
-    for (const auto& run : verdict.report.runs) {
+    for (std::size_t i = 0; i < runs.size(); i += nplans) {
+      const auto& run = runs[i];
       if (!run.completed) continue;  // already an unexpected-deadlock failure.
-      const std::uint64_t live =
-          options.fault == Fault::kDropLiveReports ? 0 : run.live_reports;
+      const std::uint64_t live = drop_live ? 0 : run.live_reports;
       std::ostringstream detail;
       detail << "truth=" << run.truth_pairs << " dual=" << run.dual_flagged
              << " single=" << run.single_flagged << " live=" << live;
@@ -82,14 +85,14 @@ ProgramVerdict check_program(const Program& program, const FuzzCheckOptions& opt
         // useful shrink target (every raceless racy-expected candidate
         // fires it, so minimization would degenerate to the empty program).
         verdict.failures.push_back(analysis::Divergence{
-            scenario.name, run.seed, run.perturb, "planted-race-vanished",
-            detail.str(), "", ""});
+            scenario.name, run.seed, run.perturb, run.fault,
+            "planted-race-vanished", detail.str(), "", ""});
       } else if (run.dual_flagged == 0 || run.single_flagged == 0 || live == 0) {
         // The race exists in ground truth but a detector layer stayed
         // silent. Shrinking preserves "has a race AND a layer misses it".
         verdict.failures.push_back(analysis::Divergence{
-            scenario.name, run.seed, run.perturb, "planted-bug-not-detected",
-            detail.str(), "", ""});
+            scenario.name, run.seed, run.perturb, run.fault,
+            "planted-bug-not-detected", detail.str(), "", ""});
       }
     }
   } else if (program.expect == Expectation::kSometimes) {
@@ -97,10 +100,10 @@ ProgramVerdict check_program(const Program& program, const FuzzCheckOptions& opt
     // silent (no reports of any kind), and at least one schedule in the
     // grid must manifest — the generator guarantees the base (unperturbed)
     // variant does, by construction.
-    for (const auto& run : verdict.report.runs) {
+    for (std::size_t i = 0; i < runs.size(); i += nplans) {
+      const auto& run = runs[i];
       if (!run.completed) continue;
-      const std::uint64_t live =
-          options.fault == Fault::kDropLiveReports ? 0 : run.live_reports;
+      const std::uint64_t live = drop_live ? 0 : run.live_reports;
       if (run.truth_pairs > 0) {
         // Manifesting schedules must be *detected*: the contested area
         // carries only the planted pair (plus accesses ordered before it),
@@ -111,16 +114,16 @@ ProgramVerdict check_program(const Program& program, const FuzzCheckOptions& opt
           detail << "truth=" << run.truth_pairs << " dual=" << run.dual_flagged
                  << " single=" << run.single_flagged << " live=" << live;
           verdict.failures.push_back(analysis::Divergence{
-              scenario.name, run.seed, run.perturb, "sometimes-bug-not-detected",
-              detail.str(), "", ""});
+              scenario.name, run.seed, run.perturb, run.fault,
+              "sometimes-bug-not-detected", detail.str(), "", ""});
         }
       } else if (live > 0 || run.dual_flagged > 0) {
         std::ostringstream detail;
         detail << "live=" << live << " dual=" << run.dual_flagged
                << " on a schedule with empty ground truth";
         verdict.failures.push_back(analysis::Divergence{
-            scenario.name, run.seed, run.perturb, "sometimes-noise", detail.str(),
-            "", ""});
+            scenario.name, run.seed, run.perturb, run.fault, "sometimes-noise",
+            detail.str(), "", ""});
       }
     }
     if (verdict.completed_runs > 0 && verdict.manifested_runs == 0) {
@@ -130,9 +133,40 @@ ProgramVerdict check_program(const Program& program, const FuzzCheckOptions& opt
       // indictment and deliberately not a shrink target; anchor the
       // coordinate at the grid's first run.
       verdict.failures.push_back(analysis::Divergence{
-          scenario.name, verdict.report.runs.front().seed,
-          verdict.report.runs.front().perturb, "sometimes-bug-never-manifested",
-          detail.str(), "", ""});
+          scenario.name, runs.front().seed, runs.front().perturb,
+          runs.front().fault, "sometimes-bug-never-manifested", detail.str(),
+          "", ""});
+    }
+  }
+
+  // Fault-transparency, fuzz-strength: kClean and kRacy verdicts are
+  // schedule-*invariant* by construction (zero truth pairs everywhere;
+  // exactly the planted pair everywhere), so a recoverable fault plan must
+  // leave the logical verdict signature — ground truth, live reports, the
+  // dual-clock replay, and the racy areas — bit-identical to the fault-free
+  // run of the same (seed, perturbation), not merely "still legal". The
+  // signature deliberately omits the single-clock replay's pair set: its
+  // read verdicts are approximate (§IV.D) and apply-order-dependent, so
+  // retransmission delay legitimately flips them even on clean programs.
+  // kSometimes is exempt entirely: faults re-roll schedule luck. The
+  // unrecoverable-plan clean-failure invariants already fired inside
+  // run_conformance.
+  if (program.expect != Expectation::kSometimes) {
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      if (i % nplans == 0) continue;
+      const auto& run = runs[i];
+      const auto& base = runs[i - i % nplans];
+      if (!run.fault.recoverable() || !run.completed || !base.completed) continue;
+      if (run.signature != base.signature) {
+        std::ostringstream detail;
+        detail << "verdicts differ from fault-free run: base " << base.truth_pairs
+               << " truth pairs/" << base.live_reports << " reports, faulted "
+               << run.truth_pairs << " truth pairs/" << run.live_reports
+               << " reports";
+        verdict.failures.push_back(analysis::Divergence{
+            scenario.name, run.seed, run.perturb, run.fault, "fault-transparency",
+            detail.str(), "", ""});
+      }
     }
   }
   return verdict;
@@ -145,9 +179,11 @@ ProgramVerdict check_program(const Program& program, const FuzzCheckOptions& opt
 std::string serialize_repro(const Repro& repro) {
   DSMR_REQUIRE(!repro.check.empty(), "repro needs the fired check's name");
   std::ostringstream out;
-  out << "dsmr-fuzz-repro v2\n";
+  out << "dsmr-fuzz-repro v3\n";
   out << "check " << repro.check << "\n";
-  out << "fault " << to_string(repro.fault) << "\n";
+  // FaultPlan::to_string is canonical, so serialize → parse → serialize is
+  // byte-identical and the repro round-trips the full replay coordinate.
+  out << "fault " << repro.fault.to_string() << "\n";
   out << "program_seed " << repro.program_seed << "\n";
   out << "schedule_seed " << repro.schedule_seed << "\n";
   out << "perturb " << repro.perturb.min_skew_ns << " " << repro.perturb.max_skew_ns
@@ -179,8 +215,8 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* error) {
     return line.substr(key.size() + 1);
   };
 
-  if (!next_line() || line != "dsmr-fuzz-repro v2") {
-    return fail("expected header 'dsmr-fuzz-repro v2'");
+  if (!next_line() || line != "dsmr-fuzz-repro v3") {
+    return fail("expected header 'dsmr-fuzz-repro v3'");
   }
   Repro repro;
   if (!next_line()) return fail("truncated");
@@ -190,9 +226,10 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* error) {
 
   if (!next_line()) return fail("truncated");
   const auto fault_text = field("fault");
-  if (!fault_text) return fail("expected 'fault <mode>'");
-  const auto fault = parse_fault(*fault_text);
-  if (!fault) return fail("unknown fault '" + *fault_text + "'");
+  if (!fault_text) return fail("expected 'fault <plan>'");
+  std::string fault_error;
+  const auto fault = net::parse_fault_plan(*fault_text, &fault_error);
+  if (!fault) return fail("bad fault plan: " + fault_error);
   repro.fault = *fault;
 
   using SeedField = std::pair<const char*, std::uint64_t*>;
@@ -262,7 +299,7 @@ std::vector<std::string> replay_repro(const Repro& repro, int threads) {
   options.schedule_seeds = 1;
   options.threads = threads;
   options.perturbations = {repro.perturb};
-  options.fault = repro.fault;
+  if (!(repro.fault == net::FaultPlan{})) options.fault_plans = {repro.fault};
   options.scenario_name = "replay";
   const auto verdict = check_program(repro.program, options);
   std::vector<std::string> fired;
@@ -451,6 +488,8 @@ SweepOutcome run_draw(const Draw& draw, const FuzzCheckOptions& check, bool verb
   out.schedules = verdict.report.runs.size();
   out.manifested = verdict.manifested_runs;
   out.completed = verdict.completed_runs;
+  out.fault_runs = verdict.report.fault_runs;
+  out.watchdog_runs = verdict.report.watchdog_runs;
   out.ops = program.op_count();
   out.signature = coverage_signature(program, verdict);
   out.failures = verdict.failures;
@@ -542,6 +581,8 @@ FuzzSweepResult run_fuzz_sweep(const FuzzSweepConfig& config) {
     ++result.programs;
     (outcome.bug ? result.planted : result.clean) += 1;
     result.schedules += outcome.schedules;
+    result.fault_runs += outcome.fault_runs;
+    result.watchdog_runs += outcome.watchdog_runs;
     run_signatures.insert(outcome.signature);
     outcome.novel = corpus.add(outcome.signature, outcome.arm, outcome.program_seed);
     if (outcome.novel) ++result.corpus_new;

@@ -23,13 +23,24 @@
 //    manifestation *rate* over the grid is measured and carried through
 //    repro files and JSON summaries.
 //
-// A test-only fault hook (`Fault`) deliberately breaks the harness's view
-// of the detector so CI can exercise the failure → shrink → repro → replay
-// loop end-to-end without a real detector bug.
+// Fault plans (net/fault.hpp) plug straight in: each wire-enabled plan in
+// `FuzzCheckOptions::fault_plans` rides the conformance grid's fault axis
+// next to every (schedule seed × perturbation) base point. On top of the
+// conformance layer's clean-failure machinery, the fuzz layer enforces its
+// own *fault-transparency*: kClean and kRacy programs have schedule-
+// invariant verdicts by construction, so every completed recoverable fault
+// run must match its fault-free base's verdict signature bit-for-bit
+// (kSometimes manifestation is schedule luck, which faults legitimately
+// re-roll — exempt). A plan carrying `drop_live_reports` re-arms the
+// test-only harness hook (pretend the live detector stayed silent, so every
+// planted-bug schedule violates planted-bug-not-detected) so CI can
+// exercise the failure → shrink → repro → replay loop end-to-end without a
+// real detector bug.
 //
 // Failing coordinates serialize into a self-contained repro file (program
-// text + schedule coordinate + fired check + measured manifestation) that
-// `dsmr_fuzz --replay` re-runs bit-identically.
+// text + schedule coordinate + fault plan + fired check + measured
+// manifestation) that `dsmr_fuzz --replay` re-runs bit-identically — the
+// full (seed, perturbation, fault-plan) replay coordinate round-trips.
 //
 // The sweep layer (`run_fuzz_sweep`) turns program seeds into verdicts at
 // scale, under one of two seed schedules:
@@ -55,20 +66,11 @@
 #include "analysis/conformance.hpp"
 #include "fuzz/generate.hpp"
 #include "fuzz/program.hpp"
+#include "net/fault.hpp"
 #include "sim/perturb.hpp"
 #include "util/cli.hpp"
 
 namespace dsmr::fuzz {
-
-/// Test-only fault injection into the harness's detector view.
-enum class Fault : std::uint8_t {
-  kNone,
-  /// Pretend the live detector stayed silent: every planted-bug schedule
-  /// then violates planted-bug-not-detected. Forces the repro loop.
-  kDropLiveReports,
-};
-const char* to_string(Fault fault);
-std::optional<Fault> parse_fault(const std::string& text);
 
 struct FuzzCheckOptions {
   std::uint64_t first_schedule_seed = 1;
@@ -78,7 +80,11 @@ struct FuzzCheckOptions {
   /// the kSometimes construction guarantees manifestation on the base
   /// variant, so dropping it voids that part of the contract.
   std::vector<sim::PerturbConfig> perturbations{sim::PerturbConfig{}};
-  Fault fault = Fault::kNone;
+  /// Fault plans for the grid's fault axis. Wire-enabled plans run next to
+  /// every (seed, perturbation) base point and feed the fault-transparency
+  /// and clean-failure invariants; any plan with `drop_live_reports` set
+  /// arms the test-only detector-silence hook for the whole grid.
+  std::vector<net::FaultPlan> fault_plans;
   std::string scenario_name = "fuzz";
 };
 
@@ -87,9 +93,12 @@ struct ProgramVerdict {
   /// Conformance disagreements plus fuzz-invariant violations, each with
   /// its reproducing (schedule seed, perturbation).
   std::vector<analysis::Divergence> failures;
-  /// Manifestation over the grid: completed schedules with >= 1 ground-
-  /// truth racing pair. (kClean programs: always 0; kRacy: must equal
-  /// completed_runs; kSometimes: must be >= 1, the rate is the metric.)
+  /// Manifestation over the *fault-free* grid: completed base schedules
+  /// with >= 1 ground-truth racing pair. (kClean programs: always 0; kRacy:
+  /// must equal completed_runs; kSometimes: must be >= 1, the rate is the
+  /// metric.) Fault runs are excluded — a fault variant is a different
+  /// schedule, and the construction guarantees quantify over the fault-free
+  /// grid; fault runs are instead held to transparency/clean-failure.
   std::uint64_t manifested_runs = 0;
   std::uint64_t completed_runs = 0;
 
@@ -118,7 +127,9 @@ std::string check_name(const std::string& check);
 /// plus the grid-level manifestation measurement at find time.
 struct Repro {
   std::string check;               ///< normalized check name.
-  Fault fault = Fault::kNone;      ///< fault hook active when found.
+  /// The failing run's fault plan — the third leg of the replay coordinate,
+  /// serialized as its canonical plan text ("off" when fault-free).
+  net::FaultPlan fault{};
   std::uint64_t program_seed = 0;  ///< generator provenance (0 = handwritten).
   std::uint64_t schedule_seed = 1;
   sim::PerturbConfig perturb{};
@@ -205,6 +216,8 @@ struct SweepOutcome {
   std::uint64_t schedules = 0;
   std::uint64_t manifested = 0;
   std::uint64_t completed = 0;
+  std::uint64_t fault_runs = 0;     ///< runs under a wire-fault plan.
+  std::uint64_t watchdog_runs = 0;  ///< non-quiescent runs with a diagnostic.
   std::size_t ops = 0;
   std::string signature;
   bool novel = false;             ///< first sighting (run + corpus).
@@ -260,6 +273,8 @@ struct FuzzSweepResult {
   std::uint64_t planted = 0;
   std::uint64_t clean = 0;
   std::uint64_t schedules = 0;
+  std::uint64_t fault_runs = 0;           ///< runs under a wire-fault plan.
+  std::uint64_t watchdog_runs = 0;        ///< non-quiescent runs with a diagnostic.
   std::uint64_t distinct_signatures = 0;  ///< distinct within this run.
   std::uint64_t corpus_new = 0;           ///< new vs the loaded corpus.
   bool budget_hit = false;

@@ -23,6 +23,17 @@ struct TrafficCounters {
   std::uint64_t payload_bytes = 0;       ///< user data only.
   std::uint64_t clock_bytes = 0;         ///< detection metadata on the wire.
 
+  // Reliable-transport accounting (net/fault.hpp plans). Kept strictly
+  // separate from the protocol counters above so the paper's overhead
+  // experiment stays honest: a retransmitted put is still ONE data-path
+  // message, its payload charged once — retry cost shows up only here.
+  std::uint64_t retry_messages = 0;          ///< retransmission attempts.
+  std::uint64_t retry_bytes = 0;             ///< wire bytes of those attempts.
+  std::uint64_t acks_sent = 0;               ///< transport-level acks.
+  std::uint64_t duplicates_suppressed = 0;   ///< receive-side dedup hits.
+  std::uint64_t faults_injected = 0;         ///< drops/corruptions/blackout losses.
+  std::uint64_t undeliverable_messages = 0;  ///< retry cap exhausted.
+
   void record(const Message& m) {
     messages_by_type[m.type] += 1;
     total_messages += 1;

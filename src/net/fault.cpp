@@ -1,0 +1,249 @@
+#include "net/fault.hpp"
+
+#include <sstream>
+
+#include "util/cli.hpp"
+
+namespace dsmr::net {
+
+namespace {
+
+const RetryPolicy kDefaultRetry{};
+
+/// Serializes a time bound whose 0 means "forever": empty text.
+void append_open_bound(std::ostringstream& out, sim::Time t) {
+  if (t != 0) out << t;
+}
+
+std::optional<std::uint64_t> parse_u64_or_empty(const std::string& text,
+                                                bool* empty) {
+  if (text.empty()) {
+    *empty = true;
+    return 0;
+  }
+  *empty = false;
+  return util::parse_u64(text);
+}
+
+}  // namespace
+
+std::string FaultPlan::to_string() const {
+  if (*this == FaultPlan{}) return "off";
+  std::ostringstream out;
+  bool first = true;
+  auto sep = [&out, &first]() -> std::ostringstream& {
+    if (!first) out << ",";
+    first = false;
+    return out;
+  };
+  if (drop_ppm > 0) sep() << "drop=" << drop_ppm;
+  if (dup_ppm > 0) sep() << "dup=" << dup_ppm;
+  if (corrupt_ppm > 0) sep() << "corrupt=" << corrupt_ppm;
+  if (delay_ppm > 0) {
+    sep() << "delay=" << delay_ppm << ":" << delay_min_ns << "-" << delay_max_ns;
+  }
+  for (const auto& p : partitions) {
+    sep() << "part=" << p.a << "-" << p.b << "@" << p.from << "-";
+    append_open_bound(out, p.until);
+  }
+  for (const auto& c : crashes) {
+    sep() << "crash=" << c.rank << "@" << c.at << "-";
+    append_open_bound(out, c.restart_at);
+  }
+  if (retry.rto_ns != kDefaultRetry.rto_ns) sep() << "rto=" << retry.rto_ns;
+  if (retry.rto_cap_ns != kDefaultRetry.rto_cap_ns) sep() << "cap=" << retry.rto_cap_ns;
+  if (retry.max_attempts != kDefaultRetry.max_attempts) {
+    sep() << "attempts=" << retry.max_attempts;
+  }
+  if (salt != 0) sep() << "salt=" << salt;
+  if (reliable) sep() << "reliable";
+  if (drop_live_reports) sep() << "drop-live-reports";
+  return out.str();
+}
+
+std::optional<FaultPlan> parse_fault_plan(const std::string& text, std::string* error) {
+  auto fail = [error](const std::string& what) -> std::optional<FaultPlan> {
+    if (error != nullptr) *error = "fault plan: " + what;
+    return std::nullopt;
+  };
+  if (text == "off" || text == "none" || text.empty()) return FaultPlan{};
+  for (const auto& [name, plan] : fault_presets()) {
+    if (text == name) return plan;
+  }
+
+  FaultPlan plan;
+  std::stringstream stream(text);
+  std::string entry;
+  while (std::getline(stream, entry, ',')) {
+    if (entry.empty()) return fail("empty entry in '" + text + "'");
+    if (entry == "reliable") {
+      plan.reliable = true;
+      continue;
+    }
+    if (entry == "drop-live-reports") {
+      plan.drop_live_reports = true;
+      continue;
+    }
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos) return fail("unknown entry '" + entry + "'");
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+
+    auto parse_ppm = [&fail, &key, &value]() -> std::optional<std::uint32_t> {
+      const auto v = util::parse_u64(value);
+      if (!v || *v > 1'000'000) {
+        fail("bad " + key + " ppm '" + value + "' (0..1000000)");
+        return std::nullopt;
+      }
+      return static_cast<std::uint32_t>(*v);
+    };
+
+    if (key == "drop" || key == "dup" || key == "corrupt") {
+      const auto ppm = parse_ppm();
+      if (!ppm) return std::nullopt;
+      (key == "drop" ? plan.drop_ppm : key == "dup" ? plan.dup_ppm : plan.corrupt_ppm) =
+          *ppm;
+    } else if (key == "delay") {
+      // delay=PPM:MIN-MAX
+      const auto colon = value.find(':');
+      const auto dash = value.find('-', colon == std::string::npos ? 0 : colon);
+      if (colon == std::string::npos || dash == std::string::npos || dash < colon) {
+        return fail("delay needs PPM:MIN-MAX, got '" + value + "'");
+      }
+      const auto ppm = util::parse_u64(value.substr(0, colon));
+      const auto min = util::parse_u64(value.substr(colon + 1, dash - colon - 1));
+      const auto max = util::parse_u64(value.substr(dash + 1));
+      if (!ppm || *ppm > 1'000'000 || !min || !max || *min > *max) {
+        return fail("bad delay spec '" + value + "'");
+      }
+      plan.delay_ppm = static_cast<std::uint32_t>(*ppm);
+      plan.delay_min_ns = static_cast<sim::Time>(*min);
+      plan.delay_max_ns = static_cast<sim::Time>(*max);
+    } else if (key == "part") {
+      // part=A-B@FROM-UNTIL (UNTIL may be empty = forever)
+      const auto at = value.find('@');
+      const auto dash1 = value.find('-');
+      if (at == std::string::npos || dash1 == std::string::npos || dash1 > at) {
+        return fail("part needs A-B@FROM-UNTIL, got '" + value + "'");
+      }
+      const auto dash2 = value.find('-', at);
+      if (dash2 == std::string::npos) return fail("part needs FROM-UNTIL");
+      const auto a = util::parse_u64(value.substr(0, dash1));
+      const auto b = util::parse_u64(value.substr(dash1 + 1, at - dash1 - 1));
+      const auto from = util::parse_u64(value.substr(at + 1, dash2 - at - 1));
+      bool open = false;
+      const auto until = parse_u64_or_empty(value.substr(dash2 + 1), &open);
+      if (!a || !b || !from || !until || (!open && *until <= *from)) {
+        return fail("bad part spec '" + value + "'");
+      }
+      plan.partitions.push_back(PartitionWindow{
+          static_cast<Rank>(*a), static_cast<Rank>(*b),
+          static_cast<sim::Time>(*from), static_cast<sim::Time>(open ? 0 : *until)});
+    } else if (key == "crash") {
+      // crash=R@AT-RESTART (RESTART may be empty = permanent)
+      const auto at = value.find('@');
+      if (at == std::string::npos) return fail("crash needs R@AT-RESTART");
+      const auto dash = value.find('-', at);
+      if (dash == std::string::npos) return fail("crash needs AT-RESTART");
+      const auto rank = util::parse_u64(value.substr(0, at));
+      const auto when = util::parse_u64(value.substr(at + 1, dash - at - 1));
+      bool open = false;
+      const auto restart = parse_u64_or_empty(value.substr(dash + 1), &open);
+      if (!rank || !when || !restart || (!open && *restart <= *when)) {
+        return fail("bad crash spec '" + value + "'");
+      }
+      plan.crashes.push_back(CrashWindow{static_cast<Rank>(*rank),
+                                         static_cast<sim::Time>(*when),
+                                         static_cast<sim::Time>(open ? 0 : *restart)});
+    } else if (key == "rto" || key == "cap" || key == "attempts" || key == "salt") {
+      const auto v = util::parse_u64(value);
+      if (!v) return fail("bad " + key + " '" + value + "'");
+      if (key == "rto") {
+        if (*v == 0) return fail("rto must be > 0");
+        plan.retry.rto_ns = static_cast<sim::Time>(*v);
+      } else if (key == "cap") {
+        plan.retry.rto_cap_ns = static_cast<sim::Time>(*v);
+      } else if (key == "attempts") {
+        if (*v == 0 || *v > 1'000) return fail("attempts must be in 1..1000");
+        plan.retry.max_attempts = static_cast<int>(*v);
+      } else {
+        plan.salt = *v;
+      }
+    } else {
+      return fail("unknown entry '" + entry + "'");
+    }
+  }
+  return plan;
+}
+
+std::optional<std::vector<FaultPlan>> parse_fault_plan_list(const std::string& text,
+                                                            std::string* error) {
+  std::vector<FaultPlan> plans;
+  if (text.empty() || text == "off" || text == "none") return plans;
+  std::stringstream stream(text);
+  std::string element;
+  while (std::getline(stream, element, ';')) {
+    if (element.empty()) continue;
+    // [...] wraps a full-grammar plan (whose own separator is ','); bare
+    // elements may still contain commas when the list has one element.
+    if (element.size() >= 2 && element.front() == '[' && element.back() == ']') {
+      element = element.substr(1, element.size() - 2);
+    }
+    if (element == "off" || element == "none") continue;
+    const auto plan = parse_fault_plan(element, error);
+    if (!plan) return std::nullopt;
+    if (plan->wire_enabled() || plan->drop_live_reports) plans.push_back(*plan);
+  }
+  return plans;
+}
+
+const std::vector<std::pair<std::string, FaultPlan>>& fault_presets() {
+  static const std::vector<std::pair<std::string, FaultPlan>> presets = [] {
+    std::vector<std::pair<std::string, FaultPlan>> p;
+    {
+      FaultPlan plan;  // 1% loss.
+      plan.drop_ppm = 10'000;
+      p.emplace_back("loss1", plan);
+    }
+    {
+      FaultPlan plan;  // 5% loss + 1% corruption: heavier retransmission.
+      plan.drop_ppm = 50'000;
+      plan.corrupt_ppm = 10'000;
+      p.emplace_back("loss5", plan);
+    }
+    {
+      FaultPlan plan;  // 2% duplication + 1% extreme delay (0.2–2 ms — far
+                       // past the RTO, forcing spurious retransmits and
+                       // receive-side reordering).
+      plan.dup_ppm = 20'000;
+      plan.delay_ppm = 10'000;
+      plan.delay_min_ns = 200'000;
+      plan.delay_max_ns = 2'000'000;
+      p.emplace_back("dupdelay", plan);
+    }
+    {
+      FaultPlan plan;  // rank 1 NIC blackout from 30 µs to 150 µs.
+      plan.crashes.push_back(CrashWindow{1, 30'000, 150'000});
+      p.emplace_back("crash-restart", plan);
+    }
+    {
+      FaultPlan plan;  // rank 1 crashes at 20 µs and never comes back.
+      plan.crashes.push_back(CrashWindow{1, 20'000, 0});
+      p.emplace_back("blackhole", plan);
+    }
+    {
+      FaultPlan plan;  // transport machinery on, zero faults.
+      plan.reliable = true;
+      p.emplace_back("reliable", plan);
+    }
+    {
+      FaultPlan plan;  // harness-view fault only.
+      plan.drop_live_reports = true;
+      p.emplace_back("drop-live-reports", plan);
+    }
+    return p;
+  }();
+  return presets;
+}
+
+}  // namespace dsmr::net

@@ -1,0 +1,167 @@
+// Fault-injection plane for the simulated fabric.
+//
+// A FaultPlan is a seeded, deterministic per-link fault model: message drop,
+// duplication, payload corruption, extreme delay, link partition windows,
+// and NIC crash / crash-restart at a virtual time. SimFabric injects the
+// plan *behind* the FIFO clamp — every fault perturbs wire behavior, never
+// the protocol's view of the model — and draws every fault decision from a
+// dedicated RNG stream derived from (world seed, plan salt), so enabling a
+// plan does not disturb the latency model's jitter draws or the
+// sim/perturb.hpp streams. (seed, perturbation, fault-plan) is therefore
+// the complete, replayable schedule coordinate.
+//
+// Rates are integer parts-per-million (ppm): exact, platform-independent,
+// and byte-identical through the text round-trip that `.repro` files and
+// CI flags rely on (`to_string` emits the canonical grammar; parsing the
+// canonical text and re-serializing reproduces it byte-for-byte).
+//
+// Plan grammar (one line, comma-separated, canonical order):
+//
+//   off
+//   reliable                      force the ack/retry transport with no faults
+//   drop=PPM                      per-transmission loss probability
+//   dup=PPM                       per-transmission duplication probability
+//   corrupt=PPM                   per-transmission payload corruption (the
+//                                 receiver discards; sender retransmits)
+//   delay=PPM:MIN-MAX             extreme extra delay, uniform in [MIN,MAX] ns
+//   part=A-B@FROM-UNTIL           bidirectional link blackout window (ns);
+//                                 empty UNTIL = permanent partition
+//   crash=R@AT-RESTART            NIC blackout on every link touching rank R;
+//                                 empty RESTART = permanent crash
+//   rto=NS cap=NS attempts=N      retransmission policy overrides
+//   salt=N                        selects the fault RNG stream
+//   drop-live-reports             harness-view fault (fuzz smoke loop): the
+//                                 fuzz harness pretends the live detector
+//                                 stayed silent; no wire effect
+//
+// Named presets (parse_fault_plan also accepts them): loss1, loss5,
+// dupdelay, crash-restart, blackhole, reliable, drop-live-reports.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/types.hpp"
+
+namespace dsmr::net {
+
+/// Timeout-based retransmission with capped exponential backoff.
+struct RetryPolicy {
+  sim::Time rto_ns = 60'000;       ///< initial retransmission timeout.
+  sim::Time rto_cap_ns = 1'000'000;///< backoff ceiling.
+  int max_attempts = 12;           ///< transmissions per message before giving up.
+
+  /// Timeout armed after transmission attempt `attempt` (1-based):
+  /// rto * 2^(attempt-1), capped.
+  sim::Time backoff(int attempt) const {
+    sim::Time t = rto_ns;
+    for (int i = 1; i < attempt && t < rto_cap_ns; ++i) t *= 2;
+    return t < rto_cap_ns ? t : rto_cap_ns;
+  }
+
+  bool operator==(const RetryPolicy&) const = default;
+};
+
+/// A blackout window on the (a, b) link, both directions: messages whose
+/// wire arrival falls in [from, until) are lost. until == 0 ⇒ permanent.
+struct PartitionWindow {
+  Rank a = 0;
+  Rank b = 0;
+  sim::Time from = 0;
+  sim::Time until = 0;  ///< exclusive; 0 = forever.
+
+  bool covers(Rank x, Rank y, sim::Time t) const {
+    const bool pair = (x == a && y == b) || (x == b && y == a);
+    return pair && t >= from && (until == 0 || t < until);
+  }
+  bool permanent() const { return until == 0; }
+  bool operator==(const PartitionWindow&) const = default;
+};
+
+/// A NIC blackout: every message entering or leaving `rank` whose wire
+/// arrival falls in [at, restart_at) is lost. restart_at == 0 ⇒ the crash
+/// is permanent (no restart).
+struct CrashWindow {
+  Rank rank = 0;
+  sim::Time at = 0;
+  sim::Time restart_at = 0;  ///< exclusive; 0 = never restarts.
+
+  bool covers(Rank x, sim::Time t) const {
+    return x == rank && t >= at && (restart_at == 0 || t < restart_at);
+  }
+  bool permanent() const { return restart_at == 0; }
+  bool operator==(const CrashWindow&) const = default;
+};
+
+struct FaultPlan {
+  std::uint32_t drop_ppm = 0;
+  std::uint32_t dup_ppm = 0;
+  std::uint32_t corrupt_ppm = 0;
+  std::uint32_t delay_ppm = 0;
+  sim::Time delay_min_ns = 0;
+  sim::Time delay_max_ns = 0;
+  std::vector<PartitionWindow> partitions;
+  std::vector<CrashWindow> crashes;
+  RetryPolicy retry{};
+  std::uint64_t salt = 0;
+  /// Force the reliable (seq/ack/retransmit) transport on even with every
+  /// fault rate at zero — the RNG stream-separation tests and the
+  /// "transport overhead with no faults" measurements need the machinery
+  /// without the misbehavior.
+  bool reliable = false;
+  /// Harness-view fault (migrated fuzz::Fault::kDropLiveReports): the fuzz
+  /// harness treats the live detector as silent. No wire effect.
+  bool drop_live_reports = false;
+
+  /// True when SimFabric must run the reliable transport (any wire fault
+  /// configured, or explicitly forced). drop_live_reports alone does not
+  /// touch the wire.
+  bool wire_enabled() const {
+    return reliable || drop_ppm > 0 || dup_ppm > 0 || corrupt_ppm > 0 ||
+           delay_ppm > 0 || !partitions.empty() || !crashes.empty();
+  }
+
+  /// True when every injected fault is maskable by retransmission: no
+  /// permanent crash or partition, and loss/corruption rates below
+  /// certainty. Recoverable plans must be *transparent* — same verdicts as
+  /// the fault-free run; unrecoverable plans must end in the watchdog
+  /// diagnostic (clean failure).
+  bool recoverable() const {
+    if (drop_ppm >= 1'000'000 || corrupt_ppm >= 1'000'000) return false;
+    for (const auto& p : partitions) {
+      if (p.permanent()) return false;
+    }
+    for (const auto& c : crashes) {
+      if (c.permanent()) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const FaultPlan&) const = default;
+
+  /// Canonical one-line text ("off" for the default plan). Parsing the
+  /// output and re-serializing is byte-identical.
+  std::string to_string() const;
+};
+
+/// Parses the canonical grammar, "off"/"none", or a preset name.
+/// nullopt (with *error set) on malformed text.
+std::optional<FaultPlan> parse_fault_plan(const std::string& text,
+                                          std::string* error = nullptr);
+
+/// Parses a ';'-separated list where each element is a preset name or
+/// "off"; "off"/"none" elements are dropped (an all-off list is empty).
+/// Full grammar plans are accepted too when wrapped in [...] (their own
+/// separator is ',') — but the common CLI use is preset names:
+/// "--faults 'loss1;dupdelay;crash-restart'".
+std::optional<std::vector<FaultPlan>> parse_fault_plan_list(
+    const std::string& text, std::string* error = nullptr);
+
+/// The named presets (CI matrix vocabulary). Every preset except
+/// "blackhole" is recoverable.
+const std::vector<std::pair<std::string, FaultPlan>>& fault_presets();
+
+}  // namespace dsmr::net

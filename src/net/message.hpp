@@ -72,6 +72,11 @@ struct Message {
   std::uint64_t tag = 0;      ///< user tag for kSignal.
   bool flag = false;          ///< verb-specific: user-lock marker, is-write
                               ///< marker, want-verdict marker, race verdict.
+  /// Reliable-transport sequence number on this (src, dst) link. Assigned
+  /// by the fabric when a FaultPlan enables the reliable layer (0 and
+  /// unused on the perfect-wire path); retransmitted copies share it. Rides
+  /// in the 40-byte header — no extra wire charge.
+  std::uint64_t transport_seq = 0;
   std::uint64_t event_id = 0;   ///< EventLog id of the access (or prior access).
   std::uint64_t event_id2 = 0;  ///< second event id where needed (prior write).
   Rank prior_access_rank = kInvalidRank;  ///< initiator of the area's last access.

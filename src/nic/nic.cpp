@@ -1,5 +1,7 @@
 #include "nic/nic.hpp"
 
+#include <algorithm>
+#include <sstream>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -69,6 +71,7 @@ sim::Future<Message> Nic::request(Message m) {
   const auto [it, inserted] = pending_.emplace(m.op_id, promise);
   DSMR_CHECK_MSG(inserted, "duplicate in-flight op id " << m.op_id << " on rank " << rank_);
   (void)it;
+  pending_info_[m.op_id] = PendingInfo{m.type, m.dst, m.area};
   fabric_.send(std::move(m));
   return promise.future();
 }
@@ -79,7 +82,32 @@ void Nic::resolve_pending(const Message& m) {
                  "response " << m.describe() << " with no pending op on rank " << rank_);
   sim::Promise<Message> promise = it->second;
   pending_.erase(it);
+  pending_info_.erase(m.op_id);
   promise.set_value(m);
+}
+
+std::vector<std::string> Nic::pending_ops() const {
+  // Deterministic order (op id, then tag) — the watchdog diagnostic must be
+  // stable across runs for repro diffing.
+  std::vector<std::pair<std::uint64_t, std::string>> lines;
+  for (const auto& [op_id, info] : pending_info_) {
+    std::ostringstream out;
+    out << "op " << op_id << " " << net::to_string(info.type) << " -> P" << info.dst
+        << " area " << info.area << " (awaiting response)";
+    lines.emplace_back(op_id, out.str());
+  }
+  for (const auto& [tag, waiters] : signal_waiters_) {
+    if (waiters.empty()) continue;
+    std::ostringstream out;
+    out << "waiting for signal tag " << tag << " (" << waiters.size() << " waiter"
+        << (waiters.size() == 1 ? "" : "s") << ")";
+    lines.emplace_back(std::uint64_t{1} << 63 | tag, out.str());
+  }
+  std::sort(lines.begin(), lines.end());
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  for (auto& [key, text] : lines) out.push_back(std::move(text));
+  return out;
 }
 
 void Nic::reply(const Message& request, Message response) {

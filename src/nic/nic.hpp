@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -129,6 +130,11 @@ class Nic {
   /// Fabric receive entry point (installed via Fabric::attach by the World).
   void on_message(const net::Message& m);
 
+  /// Human-readable lines for every in-flight request and signal wait on
+  /// this rank — the quiescence watchdog's "pending op" evidence. Empty on
+  /// a quiescent NIC.
+  std::vector<std::string> pending_ops() const;
+
   /// The area resolver (exposed for the runtime layer's event logging).
   /// Caches the last hit: consecutive operations overwhelmingly resolve into
   /// the same area, and area ranges are immutable with stable addresses
@@ -191,6 +197,13 @@ class Nic {
 
   std::uint64_t next_op_ = 1;
   std::unordered_map<std::uint64_t, sim::Promise<net::Message>> pending_;
+  /// What each pending op asked for (type/home/area) — watchdog evidence.
+  struct PendingInfo {
+    net::MsgType type = net::MsgType::kSignal;
+    Rank dst = kInvalidRank;
+    std::uint32_t area = 0;
+  };
+  std::unordered_map<std::uint64_t, PendingInfo> pending_info_;
   std::unordered_map<std::uint64_t, std::deque<net::Message>> queued_signals_;
   std::unordered_map<std::uint64_t, std::deque<sim::Promise<net::Message>>> signal_waiters_;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <sstream>
 
 #include "runtime/process.hpp"
 #include "util/assert.hpp"
@@ -20,7 +21,8 @@ World::Node::Node(Rank rank, World& world)
 World::World(WorldConfig config)
     : config_(config),
       engine_(),
-      fabric_(engine_, config.nprocs, config.latency, config.seed, config.perturb),
+      fabric_(engine_, config.nprocs, config.latency, config.seed, config.perturb,
+              config.fault),
       wakeup_perturb_(config.perturb, config.seed, /*stream=*/1) {
   DSMR_REQUIRE(config_.nprocs > 0, "world needs at least one process");
   nodes_.reserve(static_cast<std::size_t>(config_.nprocs));
@@ -80,11 +82,38 @@ RunReport World::run() {
   report.engine_events = fired;
   report.race_count = races_.count();
   report.completed = true;
+  report.hit_event_cap = fired >= config_.max_events && !engine_.idle();
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     if (!tasks_[i].done()) {
       report.completed = false;
       report.stuck_ranks.push_back(task_ranks_[i]);
     }
+  }
+
+  // Quiescence watchdog: a run that drained with suspended tasks (deadlock,
+  // unrecoverable fault) or hit the event cap terminates with a structured
+  // diagnostic — stuck rank, pending op, oldest unacked message — instead
+  // of the silent orphan-frame sweep in ~Engine.
+  if (!report.completed || report.hit_event_cap) {
+    std::ostringstream out;
+    out << "watchdog: non-quiescent termination at t=" << report.end_time << " ("
+        << (report.hit_event_cap ? "event cap hit, " : "") << report.stuck_ranks.size()
+        << "/" << tasks_.size() << " tasks stuck, " << engine_.live_frames()
+        << " live coroutine frames)";
+    for (const Rank rank : report.stuck_ranks) {
+      const auto ops = nodes_[static_cast<std::size_t>(rank)]->nic.pending_ops();
+      out << "\n  rank " << rank << ": "
+          << (ops.empty() ? "blocked with no pending NIC op" : "");
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        out << (i == 0 ? "" : "; ") << ops[i];
+      }
+    }
+    const auto unacked = fabric_.unacked();
+    if (!unacked.empty()) {
+      out << "\n  oldest unacked: " << unacked.front().describe();
+      if (unacked.size() > 1) out << " (+" << unacked.size() - 1 << " more)";
+    }
+    report.diagnostic = out.str();
   }
   return report;
 }

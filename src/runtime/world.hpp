@@ -36,6 +36,10 @@ struct WorldConfig {
   /// on message delivery and task wakeups. Identity by default; (seed,
   /// perturb) names a replayable schedule.
   sim::PerturbConfig perturb{};
+  /// Fault-injection plan (net/fault.hpp): lossy/duplicating/partitioned
+  /// wire behind the reliable transport. Off by default; (seed, perturb,
+  /// fault) is the complete replay coordinate.
+  net::FaultPlan fault{};
   bool lock_clock_handoff = true;
   bool track_matrix_clocks = false;
   /// When true (default), a put's completion ack merges the home's clock
@@ -56,6 +60,14 @@ struct RunReport {
   sim::Time end_time = 0;
   std::uint64_t engine_events = 0;
   std::uint64_t race_count = 0;
+  bool hit_event_cap = false;      ///< stopped by max_events, not quiescence.
+  /// The quiescence watchdog's structured dump — non-empty exactly when the
+  /// run ended non-quiescent (stuck tasks, event cap, or undeliverable
+  /// messages past the retry cap): per-rank pending NIC ops, the transport's
+  /// oldest unacked messages, and the live coroutine frame count. Callers
+  /// (dsmr_fuzz, dsmr_explore) surface it and exit nonzero instead of
+  /// letting Engine teardown sweep the orphaned frames silently.
+  std::string diagnostic;
 };
 
 class World {

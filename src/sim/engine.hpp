@@ -59,6 +59,12 @@ class Engine {
   void track_frame(std::coroutine_handle<> h) { live_frames_.insert(h.address()); }
   void untrack_frame(std::coroutine_handle<> h) { live_frames_.erase(h.address()); }
 
+  /// Coroutine frames still registered (suspended protocol steps). After a
+  /// drained run, a non-zero count means blocked operations — the quiescence
+  /// watchdog (runtime::World::run) reports it instead of letting the
+  /// destructor sweep the frames silently.
+  std::size_t live_frames() const { return live_frames_.size(); }
+
  private:
   struct Event {
     Time t;

@@ -390,6 +390,115 @@ TEST(Conformance, ReportRendersAndWritesJson) {
   EXPECT_FALSE(in_string);
 }
 
+// ---------------------------------------------------------------------------
+// Fault grid: transparency and clean failure
+// ---------------------------------------------------------------------------
+
+std::vector<net::FaultPlan> recoverable_plans() {
+  std::vector<net::FaultPlan> plans;
+  for (const char* name : {"loss1", "dupdelay", "crash-restart"}) {
+    const auto plan = net::parse_fault_plan(name);
+    EXPECT_TRUE(plan.has_value()) << name;
+    plans.push_back(*plan);
+  }
+  return plans;
+}
+
+TEST(Conformance, RecoverableFaultsAreTransparentOnCleanScenarios) {
+  // The tentpole invariant at harness level: every recoverable plan's run
+  // must be verdict-identical to the fault-free run of the same (seed,
+  // perturbation) — the transport masks the faults, the detectors never
+  // notice.
+  const auto* scenario = find_scenario("stencil");
+  ASSERT_NE(scenario, nullptr);
+  auto options = small_grid();
+  options.seeds = 4;
+  options.fault_plans = recoverable_plans();
+  const auto report = run_conformance(*scenario, options);
+  EXPECT_TRUE(report.passed()) << report.render();
+  EXPECT_EQ(report.base_schedules, 8u);             // 4 seeds × 2 variants.
+  EXPECT_EQ(report.runs.size(), 32u);               // × (1 base + 3 plans).
+  EXPECT_EQ(report.fault_runs, 24u);
+  EXPECT_EQ(report.fault_transparent_runs, 24u);    // all masked.
+  EXPECT_EQ(report.watchdog_runs, 0u);
+}
+
+TEST(Conformance, RacyScenariosStayConformantUnderRecoverableFaults) {
+  // Racy scenarios' verdicts are schedule-dependent, so signature equality
+  // is not demanded of them (a retransmission legitimately shifts the
+  // interleaving) — but every fault run must still complete, pass the
+  // structural cross-checks, and manifestation must be counted on the
+  // fault-free axis only.
+  const auto* scenario = find_scenario("histogram");
+  ASSERT_NE(scenario, nullptr);
+  auto options = small_grid();
+  options.seeds = 3;
+  options.fault_plans = recoverable_plans();
+  const auto report = run_conformance(*scenario, options);
+  EXPECT_TRUE(report.passed()) << report.render();
+  EXPECT_GT(report.runs_with_reports, 0u);
+  EXPECT_LE(report.runs_with_reports, report.base_schedules);
+  EXPECT_EQ(report.fault_runs, report.base_schedules * 3);
+  EXPECT_EQ(report.watchdog_runs, 0u);
+  EXPECT_LE(report.manifestation_rate(), 1.0);
+}
+
+TEST(Conformance, UnrecoverablePlanEndsInTheWatchdogCleanly) {
+  // Clean-failure invariant: a permanent NIC crash may strand the workload,
+  // but every stranded run must terminate with the watchdog diagnostic —
+  // counted, diagnosed, and NOT a conformance failure.
+  const auto* scenario = find_scenario("histogram_locked");
+  ASSERT_NE(scenario, nullptr);
+  auto options = small_grid();
+  options.seeds = 2;
+  options.fault_plans = {*net::parse_fault_plan("blackhole")};
+  const auto report = run_conformance(*scenario, options);
+  EXPECT_TRUE(report.passed()) << report.render();
+  EXPECT_GT(report.watchdog_runs, 0u);
+  bool saw_diagnosed_fault_run = false;
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    const auto& run = report.runs[i];
+    if (run.fault == net::FaultPlan{} || run.completed) continue;
+    saw_diagnosed_fault_run = true;
+    EXPECT_NE(run.diagnostic.find("watchdog:"), std::string::npos);
+    EXPECT_TRUE(run.signature.empty());  // incomplete runs sign nothing.
+  }
+  EXPECT_TRUE(saw_diagnosed_fault_run);
+}
+
+TEST(Conformance, FaultRunsCarryTheirPlanInTheReport) {
+  const auto* scenario = find_scenario("stencil");
+  ASSERT_NE(scenario, nullptr);
+  auto options = small_grid();
+  options.seeds = 2;
+  options.fault_plans = {*net::parse_fault_plan("loss1")};
+  const auto report = run_conformance(*scenario, options);
+  // Plan-minor order: each base run directly precedes its fault variants.
+  ASSERT_EQ(report.runs.size(), 8u);
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    const bool is_base = i % 2 == 0;
+    EXPECT_EQ(report.runs[i].fault == net::FaultPlan{}, is_base) << i;
+    if (!is_base) {
+      EXPECT_EQ(report.runs[i].seed, report.runs[i - 1].seed);
+      EXPECT_EQ(report.runs[i].perturb, report.runs[i - 1].perturb);
+    }
+  }
+  std::ostringstream json;
+  report.write_json(json);
+  EXPECT_NE(json.str().find("\"fault\":\"drop=10000\""), std::string::npos);
+}
+
+TEST(ConformanceDeath, HarnessOnlyPlansAreRejectedFromTheWireGrid) {
+  // drop-live-reports is a fuzz-harness hook, not a wire fault: feeding it
+  // to the conformance grid is a configuration bug, caught loudly.
+  const auto* scenario = find_scenario("stencil");
+  ASSERT_NE(scenario, nullptr);
+  auto options = small_grid();
+  options.seeds = 1;
+  options.fault_plans = {*net::parse_fault_plan("drop-live-reports")};
+  EXPECT_DEATH(run_conformance(*scenario, options), "injects nothing");
+}
+
 TEST(Conformance, MasterWorkerBenignRaceIsSignaledOnEverySchedule) {
   // §IV.D: the intentional race must be signaled (manifestation rate 1.0
   // at this contention level) and never break a structural invariant.

@@ -465,10 +465,17 @@ TEST(FuzzHarness, GeneratedProgramsAreFirstClassScenarios) {
   EXPECT_EQ(to_scenario(sometimes, "s").expect, analysis::RaceExpectation::kSometimes);
 }
 
+/// The test-only detector-silence hook as a fault plan (net/fault.hpp).
+net::FaultPlan drop_live_hook() {
+  net::FaultPlan plan;
+  plan.drop_live_reports = true;
+  return plan;
+}
+
 TEST(FuzzHarness, FaultHookForcesDisagreement) {
   const auto program = generate_program(small_config(3, true));
   FuzzCheckOptions options = quick_check();
-  options.fault = Fault::kDropLiveReports;
+  options.fault_plans = {drop_live_hook()};
   const auto verdict = check_program(program, options);
   ASSERT_FALSE(verdict.passed());
   for (const auto& failure : verdict.failures) {
@@ -491,14 +498,14 @@ TEST(FuzzHarness, CheckNameStripsDetail) {
 
 /// The deterministic single-schedule predicate the CLI uses: the named
 /// check still fires at the failing coordinate under the recorded fault.
-StillFails check_fires(const std::string& check, Fault fault, std::uint64_t seed,
-                       const sim::PerturbConfig& perturb) {
+StillFails check_fires(const std::string& check, const net::FaultPlan& fault,
+                       std::uint64_t seed, const sim::PerturbConfig& perturb) {
   return [check, fault, seed, perturb](const Program& candidate) {
     FuzzCheckOptions one;
     one.first_schedule_seed = seed;
     one.schedule_seeds = 1;
     one.perturbations = {perturb};
-    one.fault = fault;
+    if (!(fault == net::FaultPlan{})) one.fault_plans = {fault};
     const auto verdict = check_program(candidate, one);
     for (const auto& failure : verdict.failures) {
       if (check_name(failure.check) == check) return true;
@@ -518,7 +525,7 @@ TEST(FuzzShrink, PlantedBugShrinksToAFewOpsStillRacing) {
     // Forced disagreement at a fixed coordinate (the acceptance path).
     const sim::PerturbConfig perturb{};
     const auto predicate =
-        check_fires("planted-bug-not-detected", Fault::kDropLiveReports, 1, perturb);
+        check_fires("planted-bug-not-detected", drop_live_hook(), 1, perturb);
     ASSERT_TRUE(predicate(program));
 
     const auto result = shrink_program(program, predicate);
@@ -552,7 +559,7 @@ TEST(FuzzShrink, SyncRichProgramsShrinkThroughTheNewOps) {
   config.bug_kind = BugKind::kWrongLock;
   const auto program = generate_program(config);
   const auto predicate =
-      check_fires("planted-bug-not-detected", Fault::kDropLiveReports, 1, {});
+      check_fires("planted-bug-not-detected", drop_live_hook(), 1, {});
   ASSERT_TRUE(predicate(program));
   const auto result = shrink_program(program, predicate);
   EXPECT_TRUE(result.changed);
@@ -582,7 +589,7 @@ TEST(FuzzShrink, PartialBarrierSkipCollapsesWhenIrrelevant) {
   // kSometimes programs fail the *sometimes* detection invariant under the
   // fault hook (the base schedule manifests by construction).
   const auto predicate =
-      check_fires("sometimes-bug-not-detected", Fault::kDropLiveReports, 1, {});
+      check_fires("sometimes-bug-not-detected", drop_live_hook(), 1, {});
   ASSERT_TRUE(predicate(program));
   const auto result = shrink_program(program, predicate);
   EXPECT_TRUE(result.changed);
@@ -609,7 +616,7 @@ TEST(FuzzShrink, CleanProgramIsANoOp) {
 TEST(FuzzShrink, DeterministicAndBudgeted) {
   const auto program = generate_program(small_config(9, true));
   const auto predicate =
-      check_fires("planted-bug-not-detected", Fault::kDropLiveReports, 1, {});
+      check_fires("planted-bug-not-detected", drop_live_hook(), 1, {});
   const auto a = shrink_program(program, predicate);
   const auto b = shrink_program(program, predicate);
   EXPECT_EQ(a.program, b.program);
@@ -628,7 +635,7 @@ TEST(FuzzShrink, DeterministicAndBudgeted) {
 Repro make_repro() {
   Repro repro;
   repro.check = "planted-bug-not-detected";
-  repro.fault = Fault::kDropLiveReports;
+  repro.fault = drop_live_hook();
   repro.program_seed = 3;
   repro.schedule_seed = 1;
   repro.perturb = sim::PerturbConfig{0, 4'000, 2};
@@ -682,7 +689,7 @@ TEST(FuzzRepro, ReplayReproducesTheRecordedCheck) {
   // Without the fault there is nothing to reproduce: the detector catches
   // the planted bug, so the recorded check must NOT fire.
   Repro healthy = repro;
-  healthy.fault = Fault::kNone;
+  healthy.fault = net::FaultPlan{};
   EXPECT_FALSE(reproduces(healthy));
 }
 
@@ -695,7 +702,7 @@ TEST(FuzzRepro, ParserRejectsMalformedRepros) {
       text.substr(0, 40),                          // truncated head.
       text.substr(0, text.size() - 10),            // truncated program.
   };
-  // A v2 repro without the manifestation line is malformed.
+  // A repro without the manifestation line is malformed.
   std::string no_rate = text;
   const auto rate_pos = no_rate.find("manifestation ");
   ASSERT_NE(rate_pos, std::string::npos);
@@ -713,11 +720,15 @@ TEST(FuzzRepro, ParserRejectsMalformedRepros) {
   EXPECT_FALSE(parse_repro(bad_fault).has_value());
 }
 
-TEST(FuzzRepro, FaultNamesRoundTrip) {
-  for (const Fault fault : {Fault::kNone, Fault::kDropLiveReports}) {
-    EXPECT_EQ(parse_fault(to_string(fault)), fault);
+TEST(FuzzRepro, FaultPlansRoundTrip) {
+  // The plan text in a repro is the canonical grammar (net/fault.hpp); the
+  // default plan and the harness hook must both survive text round-trips.
+  for (const net::FaultPlan& plan : {net::FaultPlan{}, drop_live_hook()}) {
+    const auto parsed = net::parse_fault_plan(plan.to_string());
+    ASSERT_TRUE(parsed.has_value()) << plan.to_string();
+    EXPECT_EQ(*parsed, plan);
   }
-  EXPECT_FALSE(parse_fault("bogus").has_value());
+  EXPECT_FALSE(net::parse_fault_plan("bogus").has_value());
 }
 
 // ---------------------------------------------------------------------------

@@ -11,13 +11,23 @@
 //   dsmr_explore [--scenario name[,name...]|all] [--ranks N]
 //                [--seeds N|LO..HI] [--first-seed N] [--threads N]
 //                [--perturbations K] [--perturb-min NS] [--perturb-max NS]
+//                [--faults PLAN[;PLAN...]]
 //                [--json FILE] [--trace-dir DIR] [--verbose]
 //
 // --seeds uses the shared seed-range grammar (util::parse_seed_range, also
 // dsmr_fuzz's): a count ("64", starting at --first-seed) or an inclusive
 // range ("100..163"). Malformed ranges are loud errors, never truncations.
 //
-// Exit status: 0 when every scenario conforms, 1 on any disagreement.
+// --faults adds a third grid axis: every (seed, perturbation) point reruns
+// under each fault plan (preset name or [grammar] — net/fault.hpp), and the
+// conformance layer checks fault transparency (recoverable plans must not
+// change verdicts) and clean failure (unrecoverable plans must end in the
+// quiescence watchdog's diagnostic, never a hang or a wrong verdict).
+//
+// Exit status: 0 when every scenario conforms, 1 on any disagreement. A
+// non-quiescent run prints the watchdog's stuck-task dump before exiting
+// nonzero — the stuck rank, its pending operation, and the oldest unacked
+// message are in the dump, not buried in a trace file.
 //
 // CI runs this as a smoke stage; a reported (seed, perturbation) replays
 // deterministically on any machine (docs/testing.md walks through the loop).
@@ -28,6 +38,7 @@
 #include <vector>
 
 #include "analysis/conformance.hpp"
+#include "net/fault.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -53,6 +64,7 @@ int main(int argc, char** argv) {
                 "[--list] [--scenario name[,name...]|all] [--ranks N] "
                 "[--seeds N|LO..HI] [--first-seed N] [--threads N] "
                 "[--perturbations K] [--perturb-min NS] [--perturb-max NS] "
+                "[--faults PLAN[;PLAN...]] "
                 "[--json FILE] [--trace-dir DIR] [--verbose]");
   const bool list = cli.get_flag("list");
   const std::string scenario_csv = cli.get_string("scenario", "all");
@@ -73,10 +85,22 @@ int main(int argc, char** argv) {
   }
   const auto perturb_min = static_cast<sim::Time>(perturb_min_raw);
   const auto perturb_max = static_cast<sim::Time>(perturb_max_raw);
+  const std::string faults_text = cli.get_string("faults", "");
   const std::string json_path = cli.get_string("json", "");
   const std::string trace_dir = cli.get_string("trace-dir", "");
   const bool verbose = cli.get_flag("verbose");
   cli.finish();
+
+  std::vector<net::FaultPlan> fault_plans;
+  if (!faults_text.empty()) {
+    std::string fault_error;
+    const auto parsed = net::parse_fault_plan_list(faults_text, &fault_error);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "bad --faults: %s\n", fault_error.c_str());
+      return 2;
+    }
+    fault_plans = *parsed;
+  }
 
   if (list) {
     util::Table table({"scenario", "expect", "description"});
@@ -109,27 +133,48 @@ int main(int argc, char** argv) {
   options.threads = threads;
   options.trace_dir = trace_dir;
   options.perturbations = sim::perturb_variants(perturb_min, perturb_max, perturbations);
+  for (const auto& plan : fault_plans) {
+    if (plan.wire_enabled()) options.fault_plans.push_back(plan);
+  }
 
   std::printf("--- dsmr_explore: %zu scenario(s) × %llu seeds × %zu schedule "
               "variants on %d thread(s) ---\n",
               selected.size(), static_cast<unsigned long long>(seeds),
               options.perturbations.size(), threads);
+  for (const auto& plan : options.fault_plans) {
+    std::printf("fault plan: %s (%s)\n", plan.to_string().c_str(),
+                plan.recoverable() ? "recoverable" : "unrecoverable");
+  }
 
   std::vector<analysis::ConformanceReport> reports;
   bool all_passed = true;
   util::Table table({"scenario", "expect", "schedules", "manifested", "truth",
-                     "deadlocks", "lockset-div", "disagree"});
+                     "deadlocks", "lockset-div", "fault-runs", "transparent",
+                     "watchdog", "disagree"});
   for (const auto* scenario : selected) {
     auto report = analysis::run_conformance(*scenario, options);
     all_passed = all_passed && report.passed();
     table.add_row({report.scenario, analysis::to_string(report.expect),
-                   util::Table::fmt_int(report.runs.size()),
+                   util::Table::fmt_int(report.base_schedules),
                    util::Table::fmt_int(report.runs_with_reports),
                    util::Table::fmt_int(report.runs_with_truth),
                    util::Table::fmt_int(report.incomplete_runs),
                    util::Table::fmt_int(report.lockset_divergences),
+                   util::Table::fmt_int(report.fault_runs),
+                   util::Table::fmt_int(report.fault_transparent_runs),
+                   util::Table::fmt_int(report.watchdog_runs),
                    util::Table::fmt_int(report.disagreements.size())});
     if (verbose || !report.passed()) std::printf("%s\n", report.render().c_str());
+    if (!report.passed()) {
+      // Surface the watchdog's stuck-task dump for every non-quiescent run
+      // behind a failure: the stuck rank and its pending op are the repro.
+      for (const auto& run : report.runs) {
+        if (run.completed || run.diagnostic.empty()) continue;
+        std::printf("[%s seed=%llu fault=\"%s\"]\n%s\n", report.scenario.c_str(),
+                    static_cast<unsigned long long>(run.seed),
+                    run.fault.to_string().c_str(), run.diagnostic.c_str());
+      }
+    }
     reports.push_back(std::move(report));
   }
   std::printf("%s", table.render().c_str());
@@ -142,7 +187,12 @@ int main(int argc, char** argv) {
     }
     out << "{\"tool\":\"dsmr_explore\",\"ranks\":" << ranks << ",\"seeds\":" << seeds
         << ",\"first_seed\":" << first_seed << ",\"threads\":" << threads
-        << ",\"variants\":" << options.perturbations.size() << ",\"reports\":[";
+        << ",\"variants\":" << options.perturbations.size() << ",\"faults\":[";
+    for (std::size_t i = 0; i < options.fault_plans.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\"" << options.fault_plans[i].to_string() << "\"";
+    }
+    out << "],\"reports\":[";
     for (std::size_t i = 0; i < reports.size(); ++i) {
       if (i > 0) out << ",";
       reports[i].write_json(out);
@@ -153,7 +203,7 @@ int main(int argc, char** argv) {
 
   if (!all_passed) {
     std::printf("CONFORMANCE FAILURE: replay any disagreement with its (seed, "
-                "perturbation) pair — see docs/testing.md\n");
+                "perturbation, fault-plan) coordinate — see docs/testing.md\n");
     return 1;
   }
   std::printf("all scenarios conformant\n");

@@ -28,14 +28,20 @@
 //             [--schedule uniform|coverage] [--corpus-dir DIR]
 //             [--schedule-seeds K] [--perturbations K] [--perturb-min NS]
 //             [--perturb-max NS] [--threads N] [--budget-ms MS]
-//             [--json FILE] [--repro-dir DIR] [--no-shrink] [--fault MODE]
-//             [--verbose]
+//             [--json FILE] [--repro-dir DIR] [--no-shrink] [--fault PLAN]
+//             [--faults PLAN;PLAN;...] [--verbose]
 //   dsmr_fuzz --replay FILE [--threads N]
 //
 // Exit status: 0 when every program conforms (or a --replay reproduces its
 // recorded check), 1 on any disagreement (or a failed replay), 2 on usage
-// errors. `--fault` (test-only) injects a deliberate harness fault to
-// exercise the failure → shrink → repro loop; see docs/testing.md.
+// errors. `--fault`/`--faults` take fault plans (net/fault.hpp: presets
+// like `loss1`, `dupdelay`, `crash-restart`, `blackhole`, or the full
+// `drop=PPM,...` grammar): wire-enabled plans run next to every fault-free
+// schedule and are held to fault-transparency (recoverable) or
+// clean-failure (unrecoverable); the `drop-live-reports` plan is the
+// test-only harness hook that exercises the failure → shrink → repro loop;
+// see docs/testing.md. Non-quiescent runs print the quiescence watchdog's
+// stuck-task dump and exit 1 unless expected (unrecoverable plans).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -48,6 +54,7 @@
 #include "fuzz/generate.hpp"
 #include "fuzz/harness.hpp"
 #include "fuzz/shrink.hpp"
+#include "net/fault.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
@@ -82,7 +89,7 @@ int run_replay(const std::string& path, int threads) {
               "manifestation=%llu/%llu\n",
               path.c_str(), static_cast<unsigned long long>(repro->program_seed),
               static_cast<unsigned long long>(repro->schedule_seed),
-              repro->perturb.to_string().c_str(), fuzz::to_string(repro->fault),
+              repro->perturb.to_string().c_str(), repro->fault.to_string().c_str(),
               static_cast<unsigned long long>(repro->manifested),
               static_cast<unsigned long long>(repro->schedules));
   std::printf("recorded check: %s\nfired checks:  ", repro->check.c_str());
@@ -102,6 +109,7 @@ struct FailureRecord {
   std::string detail;
   std::uint64_t schedule_seed = 0;
   sim::PerturbConfig perturb{};
+  net::FaultPlan fault{};
   std::uint64_t manifested = 0;
   std::uint64_t schedules = 0;
   std::string repro_path;
@@ -147,7 +155,7 @@ int main(int argc, char** argv) {
                 "[--schedule uniform|coverage] [--corpus-dir DIR] [--schedule-seeds K] "
                 "[--perturbations K] [--perturb-min NS] [--perturb-max NS] "
                 "[--threads N] [--budget-ms MS] [--json FILE] [--repro-dir DIR] "
-                "[--no-shrink] [--fault none|drop-live-reports] [--verbose] | "
+                "[--no-shrink] [--fault PLAN] [--faults PLAN;PLAN;...] [--verbose] | "
                 "--replay FILE");
   const std::string replay_path = cli.get_string("replay", "");
   const auto threads =
@@ -213,13 +221,32 @@ int main(int argc, char** argv) {
   const std::string json_path = cli.get_string("json", "");
   const std::string repro_dir = cli.get_string("repro-dir", "");
   const bool no_shrink = cli.get_flag("no-shrink");
+  // --fault takes one plan (back-compatible with the old none|drop-live-
+  // reports modes via the plan parser's aliases); --faults a ';'-list.
+  // Both feed the same fault axis and may be combined.
+  std::vector<net::FaultPlan> fault_plans;
+  std::string fault_error;
   const std::string fault_text = cli.get_string("fault", "none");
-  const auto fault = fuzz::parse_fault(fault_text);
-  if (!fault) {
-    std::fprintf(stderr, "unknown --fault %s (none|drop-live-reports)\n",
-                 fault_text.c_str());
+  const auto single_plan = net::parse_fault_plan(fault_text, &fault_error);
+  if (!single_plan) {
+    std::fprintf(stderr, "bad --fault '%s': %s\n", fault_text.c_str(),
+                 fault_error.c_str());
     return 2;
   }
+  if (!(*single_plan == net::FaultPlan{})) fault_plans.push_back(*single_plan);
+  const std::string faults_text = cli.get_string("faults", "");
+  if (!faults_text.empty()) {
+    const auto list = net::parse_fault_plan_list(faults_text, &fault_error);
+    if (!list) {
+      std::fprintf(stderr, "bad --faults '%s': %s\n", faults_text.c_str(),
+                   fault_error.c_str());
+      return 2;
+    }
+    fault_plans.insert(fault_plans.end(), list->begin(), list->end());
+  }
+  const bool drop_live_armed =
+      std::any_of(fault_plans.begin(), fault_plans.end(),
+                  [](const net::FaultPlan& p) { return p.drop_live_reports; });
   const bool verbose = cli.get_flag("verbose");
   cli.finish();
 
@@ -237,7 +264,7 @@ int main(int argc, char** argv) {
   // Parallelism lives on the *program* axis (the independent one); each
   // program's own grid runs serially on its worker.
   sweep.check.threads = 1;
-  sweep.check.fault = *fault;
+  sweep.check.fault_plans = fault_plans;
   // Same semantics as dsmr_explore: K extra salted variants on top of the
   // always-present base schedule.
   sweep.check.perturbations =
@@ -261,7 +288,13 @@ int main(int argc, char** argv) {
               profile.c_str(), fuzz::to_string(*schedule),
               static_cast<unsigned long long>(schedule_seeds),
               sweep.check.perturbations.size(), threads,
-              *fault == fuzz::Fault::kNone ? "" : " [FAULT INJECTION ON]");
+              fault_plans.empty() ? "" : " [FAULT INJECTION ON]");
+  for (const auto& plan : fault_plans) {
+    std::printf("fault plan: %s (%s)\n", plan.to_string().c_str(),
+                plan.wire_enabled()
+                    ? (plan.recoverable() ? "recoverable" : "unrecoverable")
+                    : "harness hook");
+  }
 
   const auto result = fuzz::run_fuzz_sweep(sweep);
 
@@ -293,13 +326,19 @@ int main(int argc, char** argv) {
     record.detail = first.detail.empty() ? first.check : first.detail;
     record.schedule_seed = first.seed;
     record.perturb = first.perturb;
+    // The *failing run's* plan, so the repro carries the full (seed,
+    // perturbation, fault-plan) coordinate. The detector-silence hook is
+    // grid-global, so it must ride along even when the failing run itself
+    // was fault-free.
+    record.fault = first.fault;
+    if (drop_live_armed) record.fault.drop_live_reports = true;
     record.manifested = outcome.manifested;
     record.schedules = outcome.completed;
     record.ops_before = program->op_count();
 
     fuzz::Repro repro;
     repro.check = record.check;
-    repro.fault = *fault;
+    repro.fault = record.fault;
     repro.program_seed = outcome.program_seed;
     repro.schedule_seed = first.seed;
     repro.perturb = first.perturb;
@@ -316,6 +355,11 @@ int main(int argc, char** argv) {
       one.first_schedule_seed = first.seed;
       one.schedule_seeds = 1;
       one.perturbations = {first.perturb};
+      // Minimize under exactly the repro's coordinate — only the failing
+      // run's plan (plus the global hook folded into it above), not the
+      // whole sweep's plan list.
+      one.fault_plans.clear();
+      if (!(record.fault == net::FaultPlan{})) one.fault_plans.push_back(record.fault);
       const auto still_fails = [&one, &record](const fuzz::Program& candidate) {
         const auto v = fuzz::check_program(candidate, one);
         for (const auto& failure : v.failures) {
@@ -340,21 +384,30 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    std::printf("FAILURE s%llu [%s]: %s (seed=%llu perturb=%s, %zu -> %zu ops%s%s)\n",
+    std::printf("FAILURE s%llu [%s]: %s (seed=%llu perturb=%s fault=%s, %zu -> %zu "
+                "ops%s%s)\n",
                 static_cast<unsigned long long>(outcome.program_seed),
                 outcome.arm.c_str(), record.check.c_str(),
                 static_cast<unsigned long long>(record.schedule_seed),
-                record.perturb.to_string().c_str(), record.ops_before, record.ops_after,
+                record.perturb.to_string().c_str(), record.fault.to_string().c_str(),
+                record.ops_before, record.ops_after,
                 record.repro_path.empty() ? "" : ", repro: ",
                 record.repro_path.c_str());
+    // Surface the quiescence watchdog's stuck-task dump right next to the
+    // failure it explains (unexpected-deadlock, fault-not-recovered, ...).
+    if (record.detail.rfind("watchdog:", 0) == 0) {
+      std::printf("%s\n", record.detail.c_str());
+    }
     failures.push_back(std::move(record));
   }
 
-  util::Table table(
-      {"programs", "planted", "clean", "schedules", "signatures", "failures", "ms"});
+  util::Table table({"programs", "planted", "clean", "schedules", "fault-runs",
+                     "watchdog", "signatures", "failures", "ms"});
   table.add_row({util::Table::fmt_int(result.programs),
                  util::Table::fmt_int(result.planted), util::Table::fmt_int(result.clean),
                  util::Table::fmt_int(result.schedules),
+                 util::Table::fmt_int(result.fault_runs),
+                 util::Table::fmt_int(result.watchdog_runs),
                  util::Table::fmt_int(result.distinct_signatures),
                  util::Table::fmt_int(failures.size()),
                  util::Table::fmt_int(static_cast<std::uint64_t>(elapsed_ms()))});
@@ -391,10 +444,14 @@ int main(int argc, char** argv) {
         << trace::json_escape(profile) << "\",\"schedule\":\""
         << fuzz::to_string(*schedule) << "\",\"ranks\":" << gen.nprocs
         << ",\"schedule_seeds\":" << schedule_seeds
-        << ",\"variants\":" << sweep.check.perturbations.size()
-        << ",\"fault\":\"" << fuzz::to_string(*fault)
-        << "\",\"programs\":" << result.programs << ",\"planted\":" << result.planted
+        << ",\"variants\":" << sweep.check.perturbations.size() << ",\"faults\":\"";
+    for (std::size_t i = 0; i < fault_plans.size(); ++i) {
+      out << (i > 0 ? "; " : "") << trace::json_escape(fault_plans[i].to_string());
+    }
+    out << "\",\"programs\":" << result.programs << ",\"planted\":" << result.planted
         << ",\"clean\":" << result.clean << ",\"schedules\":" << result.schedules
+        << ",\"fault_runs\":" << result.fault_runs
+        << ",\"watchdog_runs\":" << result.watchdog_runs
         << ",\"signatures\":" << result.distinct_signatures
         << ",\"corpus_new\":" << result.corpus_new << ",\"elapsed_ms\":" << elapsed_ms()
         << ",\"budget_hit\":" << (result.budget_hit ? "true" : "false")
@@ -420,6 +477,7 @@ int main(int argc, char** argv) {
           << trace::json_escape(f.check) << "\",\"detail\":\""
           << trace::json_escape(f.detail) << "\",\"schedule_seed\":" << f.schedule_seed
           << ",\"perturb\":\"" << trace::json_escape(f.perturb.to_string())
+          << "\",\"fault\":\"" << trace::json_escape(f.fault.to_string())
           << "\",\"manifested\":" << f.manifested << ",\"schedules\":" << f.schedules
           << ",\"ops_before\":" << f.ops_before << ",\"ops_after\":" << f.ops_after
           << ",\"repro\":\"" << trace::json_escape(f.repro_path) << "\"}";
