@@ -44,6 +44,25 @@ struct TrafficCounters {
   }
 
   void reset() { *this = TrafficCounters{}; }
+
+  /// Adds another counter set into this one. The fold half of per-thread
+  /// sharding: concurrent senders each record into a private shard
+  /// (single-writer, no atomics needed) and the owner folds the shards
+  /// after the senders have quiesced (net::ThreadFabric does exactly this).
+  void merge(const TrafficCounters& other) {
+    for (const auto& [type, n] : other.messages_by_type) messages_by_type[type] += n;
+    total_messages += other.total_messages;
+    total_bytes += other.total_bytes;
+    data_path_messages += other.data_path_messages;
+    payload_bytes += other.payload_bytes;
+    clock_bytes += other.clock_bytes;
+    retry_messages += other.retry_messages;
+    retry_bytes += other.retry_bytes;
+    acks_sent += other.acks_sent;
+    duplicates_suppressed += other.duplicates_suppressed;
+    faults_injected += other.faults_injected;
+    undeliverable_messages += other.undeliverable_messages;
+  }
 };
 
 /// The interconnection network. Implementations must deliver messages

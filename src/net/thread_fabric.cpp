@@ -1,0 +1,48 @@
+#include "net/thread_fabric.hpp"
+
+#include "util/assert.hpp"
+
+namespace dsmr::net {
+
+ThreadFabric::ThreadFabric(int nprocs) {
+  DSMR_REQUIRE(nprocs > 0, "ThreadFabric needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+  shards_ = std::vector<Shard>(static_cast<std::size_t>(nprocs));
+}
+
+void ThreadFabric::signal(Rank to, std::uint64_t tag, ThreadSignal message) {
+  DSMR_REQUIRE(to >= 0 && to < nprocs(), "signal to rank " << to << " out of range");
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(to)];
+  {
+    std::lock_guard<std::mutex> guard(box.mutex);
+    box.by_tag[tag].push_back(std::move(message));
+  }
+  // notify_all, not _one: waiters are keyed by tag, and the one woken might
+  // be waiting on a different tag.
+  box.ready.notify_all();
+}
+
+std::optional<ThreadSignal> ThreadFabric::wait_signal(
+    Rank self, std::uint64_t tag, std::chrono::steady_clock::time_point deadline) {
+  DSMR_REQUIRE(self >= 0 && self < nprocs(), "wait on rank " << self << " out of range");
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
+  std::unique_lock<std::mutex> guard(box.mutex);
+  const auto has_signal = [&box, tag]() {
+    const auto it = box.by_tag.find(tag);
+    return it != box.by_tag.end() && !it->second.empty();
+  };
+  if (!box.ready.wait_until(guard, deadline, has_signal)) return std::nullopt;
+  auto& queue = box.by_tag.find(tag)->second;
+  ThreadSignal message = std::move(queue.front());
+  queue.pop_front();
+  return message;
+}
+
+TrafficCounters ThreadFabric::fold() const {
+  TrafficCounters total;
+  for (const Shard& shard : shards_) total.merge(shard.counters);
+  return total;
+}
+
+}  // namespace dsmr::net

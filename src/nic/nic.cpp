@@ -1,6 +1,7 @@
 #include "nic/nic.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <utility>
 
@@ -29,6 +30,12 @@ core::StoredClocks stored_from(const Message& m, Rank home) {
 }
 }  // namespace
 
+namespace {
+/// Resolver-cache keys: process-unique, monotonically assigned, never
+/// reused. Key 0 is reserved as "no entry".
+std::atomic<std::uint64_t> next_resolver_cache_key{1};
+}  // namespace
+
 Nic::Nic(Rank rank, sim::Engine& engine, net::Fabric& fabric, mem::PublicSegment& segment,
          NodeClock& clock, NicConfig config, core::RaceLog& races, core::EventLog& events)
     : rank_(rank),
@@ -38,20 +45,32 @@ Nic::Nic(Rank rank, sim::Engine& engine, net::Fabric& fabric, mem::PublicSegment
       clock_(clock),
       config_(config),
       races_(races),
-      events_(events) {}
+      events_(events),
+      resolver_cache_key_(next_resolver_cache_key.fetch_add(1, std::memory_order_relaxed)) {}
 
 const mem::Area* Nic::resolve(Rank rank, std::uint32_t offset, std::uint32_t len) const {
+  // One-entry cache, confined to the calling thread so concurrent resolves
+  // never race on it. The key comparison comes first: only a hit for THIS
+  // NIC may dereference the cached pointer (an entry left by another —
+  // possibly destroyed — World's NIC would be stale or dangling).
+  struct ResolverCache {
+    std::uint64_t key = 0;
+    Rank rank = kInvalidRank;
+    const mem::Area* area = nullptr;
+  };
+  static thread_local ResolverCache cache;
   // Fast path: the queried range lies inside the last resolved area. Areas
   // never overlap, never move and never shrink, so containment proves this
   // is the area the full lookup would return.
-  if (const mem::Area* cached = resolver_cache_.area;
-      cached != nullptr && resolver_cache_.rank == rank && offset >= cached->offset &&
-      offset + len <= cached->end()) {
-    return cached;
+  if (cache.key == resolver_cache_key_ && cache.rank == rank) {
+    if (const mem::Area* cached = cache.area;
+        cached != nullptr && offset >= cached->offset && offset + len <= cached->end()) {
+      return cached;
+    }
   }
   DSMR_CHECK_MSG(resolver_, "NIC has no area resolver installed");
   const mem::Area* area = resolver_(rank, offset, len);
-  if (area != nullptr) resolver_cache_ = ResolverCache{rank, area};
+  if (area != nullptr) cache = ResolverCache{resolver_cache_key_, rank, area};
   return area;
 }
 

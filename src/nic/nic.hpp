@@ -136,10 +136,13 @@ class Nic {
   std::vector<std::string> pending_ops() const;
 
   /// The area resolver (exposed for the runtime layer's event logging).
-  /// Caches the last hit: consecutive operations overwhelmingly resolve into
-  /// the same area, and area ranges are immutable with stable addresses
-  /// (PublicSegment), so a cached area containing the queried range is
-  /// always the correct answer — no invalidation needed.
+  /// Caches the last hit per *thread*: consecutive operations
+  /// overwhelmingly resolve into the same area, and area ranges are
+  /// immutable with stable addresses (PublicSegment), so a cached area
+  /// containing the queried range is always the correct answer — no
+  /// invalidation needed. The cache entry is thread-local and keyed by a
+  /// process-unique NIC id, making concurrent resolves race-free.
+  /// Thread-safe.
   const mem::Area* resolve(Rank rank, std::uint32_t offset, std::uint32_t len) const;
 
  private:
@@ -188,12 +191,13 @@ class Nic {
   AreaResolver resolver_;
   LockManager locks_;
 
-  /// One-entry resolver cache: the last successfully resolved (rank, area).
-  struct ResolverCache {
-    Rank rank = kInvalidRank;
-    const mem::Area* area = nullptr;
-  };
-  mutable ResolverCache resolver_cache_;
+  /// Key of this NIC's entries in the thread-local resolver cache (see
+  /// Nic::resolve): process-unique and never reused, so a pool thread that
+  /// ran a different (since-destroyed) World can never take a stale hit —
+  /// or dereference its dangling Area* — against this NIC. A plain mutable
+  /// member cache was a write-on-the-lookup-path data race once resolves
+  /// run from concurrent threads.
+  const std::uint64_t resolver_cache_key_;
 
   std::uint64_t next_op_ = 1;
   std::unordered_map<std::uint64_t, sim::Promise<net::Message>> pending_;

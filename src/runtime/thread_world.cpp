@@ -1,0 +1,372 @@
+#include "runtime/thread_world.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace dsmr::runtime {
+
+namespace {
+
+/// Real-pause caps for the virtual-duration ops: long virtual sleeps must
+/// still shake the thread scheduler without making runs wall-clock slow.
+constexpr std::chrono::microseconds kMaxSleep{50};
+constexpr std::chrono::microseconds kMaxCompute{5};
+
+std::chrono::microseconds capped(std::uint64_t virtual_ns,
+                                 std::chrono::microseconds cap) {
+  const auto want = std::chrono::microseconds(virtual_ns / 1000);
+  return std::min(want, cap);
+}
+
+}  // namespace
+
+ThreadWorld::Node::Node(Rank rank, const ThreadWorldConfig& config)
+    : segment(rank, config.segment_bytes, static_cast<std::size_t>(config.nprocs)),
+      stripes(new std::mutex[static_cast<std::size_t>(config.stripes)]) {}
+
+ThreadWorld::ThreadWorld(ThreadWorldConfig config)
+    : config_(config), fabric_(config.nprocs) {
+  DSMR_REQUIRE(config_.nprocs > 0, "ThreadWorld needs at least one rank");
+  DSMR_REQUIRE(config_.stripes > 0, "ThreadWorld needs at least one stripe");
+  for (Rank r = 0; r < config_.nprocs; ++r) {
+    nodes_.push_back(std::make_unique<Node>(r, config_));
+    processes_.push_back(std::make_unique<ThreadProcess>(r, *this));
+  }
+  bodies_.resize(static_cast<std::size_t>(config_.nprocs));
+  if (config_.print_races) {
+    races_.add_observer([](const core::RaceReport& report) {
+      std::fprintf(stderr, "%s\n", report.describe().c_str());
+    });
+  }
+}
+
+ThreadWorld::~ThreadWorld() = default;
+
+mem::GlobalAddress ThreadWorld::alloc(Rank home, std::uint32_t bytes, std::string name) {
+  DSMR_REQUIRE(!ran_, "alloc after run(): the area index is immutable once threads start");
+  DSMR_REQUIRE(home >= 0 && home < config_.nprocs, "alloc home " << home << " out of range");
+  Node& node = *nodes_[static_cast<std::size_t>(home)];
+  const mem::AreaId id = node.segment.allocate_area(bytes, std::move(name));
+  node.user_locks.push_back(std::make_unique<UserLock>());
+  DSMR_CHECK_MSG(node.user_locks.size() == node.segment.area_count(),
+                 "user-lock table out of step with the area table");
+  return mem::GlobalAddress{home, node.segment.area(id).offset};
+}
+
+void ThreadWorld::spawn(Rank rank, std::function<void(ThreadProcess&)> body) {
+  DSMR_REQUIRE(!ran_, "spawn after run()");
+  DSMR_REQUIRE(rank >= 0 && rank < config_.nprocs, "spawn rank " << rank << " out of range");
+  auto& slot = bodies_[static_cast<std::size_t>(rank)];
+  DSMR_REQUIRE(!slot, "rank " << rank << " already has a program");
+  slot = std::move(body);
+}
+
+ThreadRunReport ThreadWorld::run() {
+  DSMR_REQUIRE(!ran_, "a ThreadWorld is single-use");
+  ran_ = true;
+  const auto start = std::chrono::steady_clock::now();
+  deadline_ = start + config_.run_timeout;
+
+  std::mutex stuck_mutex;
+  std::vector<Rank> stuck;
+  std::vector<std::thread> threads;
+  for (Rank r = 0; r < config_.nprocs; ++r) {
+    auto& body = bodies_[static_cast<std::size_t>(r)];
+    if (!body) continue;
+    threads.emplace_back([this, r, &body, &stuck_mutex, &stuck]() {
+      try {
+        body(*processes_[static_cast<std::size_t>(r)]);
+      } catch (const StuckRank&) {
+        std::lock_guard<std::mutex> guard(stuck_mutex);
+        stuck.push_back(r);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  ThreadRunReport report;
+  std::sort(stuck.begin(), stuck.end());
+  report.stuck_ranks = std::move(stuck);
+  report.completed = report.stuck_ranks.empty();
+  report.race_count = races_.count();
+  for (const auto& process : processes_) report.checks += process->checks();
+  report.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return report;
+}
+
+mem::PublicSegment& ThreadWorld::segment(Rank rank) {
+  DSMR_REQUIRE(rank >= 0 && rank < config_.nprocs, "segment rank out of range");
+  return nodes_[static_cast<std::size_t>(rank)]->segment;
+}
+
+ThreadProcess& ThreadWorld::process(Rank rank) {
+  DSMR_REQUIRE(rank >= 0 && rank < config_.nprocs, "process rank out of range");
+  return *processes_[static_cast<std::size_t>(rank)];
+}
+
+std::mutex& ThreadWorld::stripe(Rank home, mem::AreaId area) {
+  Node& node = *nodes_[static_cast<std::size_t>(home)];
+  return node.stripes[area % static_cast<mem::AreaId>(config_.stripes)];
+}
+
+void ThreadWorld::record_race(core::AccessKind kind, Rank accessor, Rank home,
+                              const mem::Area& area,
+                              const clocks::VectorClock& accessor_clock,
+                              const core::Verdict& verdict, std::uint64_t event_id,
+                              std::uint64_t prior_event_id) {
+  core::RaceReport report;
+  report.home = home;
+  report.area = area.id;
+  report.area_name = area.name;
+  report.accessor = accessor;
+  report.kind = kind;
+  report.event_id = event_id;
+  report.accessor_clock = accessor_clock;
+  report.against = verdict.against;
+  report.stored_clock =
+      verdict.against == core::ComparedAgainst::kW ? area.w_clock() : area.v_clock();
+  report.prior_event_id = prior_event_id;
+  std::lock_guard<std::mutex> guard(races_mutex_);
+  races_.record(std::move(report));
+}
+
+// ---------------------------------------------------------------------------
+// ThreadProcess
+// ---------------------------------------------------------------------------
+
+ThreadProcess::ThreadProcess(Rank rank, ThreadWorld& world)
+    : rank_(rank),
+      world_(world),
+      clock_(static_cast<std::size_t>(world.nprocs())) {}
+
+ThreadProcess::Resolved ThreadProcess::resolve(mem::GlobalAddress addr,
+                                               std::uint32_t len) {
+  DSMR_REQUIRE(addr.rank >= 0 && addr.rank < world_.nprocs(),
+               "access to rank " << addr.rank << " out of range");
+  ThreadWorld::Node* node = world_.nodes_[static_cast<std::size_t>(addr.rank)].get();
+  mem::Area* area = node->segment.find_area(addr.offset, len);
+  DSMR_REQUIRE(area != nullptr, "access to unregistered range " << addr.to_string()
+                                                                << "+" << len);
+  return Resolved{node, area};
+}
+
+void ThreadProcess::account(net::Message m) {
+  world_.fabric_.shard(rank_).record(m);
+}
+
+void ThreadProcess::put(mem::GlobalAddress dst, const std::vector<std::byte>& data) {
+  clock_.tick(rank_);
+  auto [node, area] = resolve(dst, static_cast<std::uint32_t>(data.size()));
+  const std::uint64_t event_id = next_event_id();
+  const bool acked = world_.config_.acked_puts;
+  clocks::VectorClock completion;  ///< pre-update V ∨ W, merged on ack.
+  {
+    std::lock_guard<std::mutex> guard(world_.stripe(dst.rank, area->id));
+    ++checks_;
+    const core::StoredClocks stored{area->v_clock(),        area->w_clock(),
+                                    area->last_access_rank, area->last_write_rank,
+                                    area->v_state.epoch(),  area->w_state.epoch()};
+    const core::Verdict verdict =
+        core::check_access(world_.config_.mode, core::AccessKind::kWrite, rank_,
+                           clock_, stored);
+    if (verdict.race) {
+      world_.record_race(core::AccessKind::kWrite, rank_, dst.rank, *area, clock_,
+                         verdict, event_id,
+                         verdict.against == core::ComparedAgainst::kW
+                             ? area->last_write_event
+                             : area->last_access_event);
+    }
+    if (acked) {
+      completion = area->v_clock();
+      completion.merge_from(area->w_clock());
+    }
+    area->v_state.store_event(rank_, clock_);
+    area->w_state.store_event(rank_, clock_);
+    area->last_access_rank = rank_;
+    area->last_write_rank = rank_;
+    area->last_access_event = event_id;
+    area->last_write_event = event_id;
+    node->segment.write_bytes(dst.offset, data);
+  }
+  if (acked) clock_.merge_from(completion);
+
+  // Wire-equivalent accounting, kHomeSide shapes: one commit carrying the
+  // initiator clock, one ack (carrying the completion clock when acked).
+  net::Message commit;
+  commit.type = net::MsgType::kPutCommit;
+  commit.src = rank_;
+  commit.dst = dst.rank;
+  commit.area = area->id;
+  commit.data.resize(data.size());
+  commit.clock = clock_;
+  account(std::move(commit));
+  net::Message ack;
+  ack.type = net::MsgType::kPutCommitAck;
+  ack.src = dst.rank;
+  ack.dst = rank_;
+  ack.area = area->id;
+  if (acked) {
+    ack.clock = completion;
+  } else {
+    ack.clocks_on_wire = false;
+  }
+  account(std::move(ack));
+}
+
+std::vector<std::byte> ThreadProcess::get(mem::GlobalAddress src, std::uint32_t len) {
+  clock_.tick(rank_);
+  auto [node, area] = resolve(src, len);
+  const std::uint64_t event_id = next_event_id();
+  clocks::VectorClock reads_from;  ///< the stored W this get observed.
+  std::vector<std::byte> data;
+  {
+    std::lock_guard<std::mutex> guard(world_.stripe(src.rank, area->id));
+    ++checks_;
+    const core::StoredClocks stored{area->v_clock(),        area->w_clock(),
+                                    area->last_access_rank, area->last_write_rank,
+                                    area->v_state.epoch(),  area->w_state.epoch()};
+    const core::Verdict verdict =
+        core::check_access(world_.config_.mode, core::AccessKind::kRead, rank_,
+                           clock_, stored);
+    if (verdict.race) {
+      world_.record_race(core::AccessKind::kRead, rank_, src.rank, *area, clock_,
+                         verdict, event_id,
+                         verdict.against == core::ComparedAgainst::kW
+                             ? area->last_write_event
+                             : area->last_access_event);
+    }
+    reads_from = area->w_clock();
+    area->v_state.store_event(rank_, clock_);
+    area->last_access_rank = rank_;
+    area->last_access_event = event_id;
+    data = node->segment.read_bytes(src.offset, len);
+  }
+  clock_.merge_from(reads_from);
+
+  net::Message request;
+  request.type = net::MsgType::kGetLockedRequest;
+  request.src = rank_;
+  request.dst = src.rank;
+  request.area = area->id;
+  request.clock = clock_;
+  account(std::move(request));
+  net::Message response;
+  response.type = net::MsgType::kGetLockedResponse;
+  response.src = src.rank;
+  response.dst = rank_;
+  response.area = area->id;
+  response.data.resize(len);
+  response.clock = reads_from;
+  account(std::move(response));
+  return data;
+}
+
+void ThreadProcess::lock(mem::GlobalAddress addr) {
+  auto [node, area] = resolve(addr, 1);
+  ThreadWorld::UserLock& user_lock = *node->user_locks[area->id];
+  std::unique_lock<std::mutex> guard(user_lock.mutex);
+  const std::uint64_t ticket = user_lock.next_ticket++;
+  const bool granted = user_lock.turn.wait_until(
+      guard, world_.deadline_,
+      [&user_lock, ticket]() { return user_lock.now_serving == ticket; });
+  if (!granted) {
+    // Leave a tombstone so releases skip this ticket: one stuck rank must
+    // not wedge every later waiter in the queue.
+    user_lock.abandoned.insert(ticket);
+    throw ThreadWorld::StuckRank{};
+  }
+  clock_.tick(rank_);
+  if (world_.config_.lock_clock_handoff && user_lock.handoff.size() > 0) {
+    clock_.merge_from(user_lock.handoff);
+  }
+  net::Message request;
+  request.type = net::MsgType::kLockRequest;
+  request.src = rank_;
+  request.dst = addr.rank;
+  request.area = area->id;
+  request.clocks_on_wire = false;
+  account(std::move(request));
+  net::Message grant;
+  grant.type = net::MsgType::kLockGrant;
+  grant.src = addr.rank;
+  grant.dst = rank_;
+  grant.area = area->id;
+  if (world_.config_.lock_clock_handoff) {
+    grant.clock = clock_;
+  } else {
+    grant.clocks_on_wire = false;
+  }
+  account(std::move(grant));
+}
+
+void ThreadProcess::unlock(mem::GlobalAddress addr) {
+  auto [node, area] = resolve(addr, 1);
+  ThreadWorld::UserLock& user_lock = *node->user_locks[area->id];
+  clock_.tick(rank_);
+  {
+    std::lock_guard<std::mutex> guard(user_lock.mutex);
+    DSMR_REQUIRE(user_lock.now_serving < user_lock.next_ticket,
+                 "unlock of an unheld lock on area " << area->name);
+    user_lock.handoff = clock_;
+    ++user_lock.now_serving;
+    while (user_lock.abandoned.erase(user_lock.now_serving) > 0) {
+      ++user_lock.now_serving;
+    }
+  }
+  user_lock.turn.notify_all();
+  net::Message release;
+  release.type = net::MsgType::kUnlock;
+  release.src = rank_;
+  release.dst = addr.rank;
+  release.area = area->id;
+  release.clocks_on_wire = false;
+  account(std::move(release));
+}
+
+void ThreadProcess::signal(Rank to, std::uint64_t tag, std::vector<std::byte> payload) {
+  clock_.tick(rank_);
+  net::Message wire;
+  wire.type = net::MsgType::kSignal;
+  wire.src = rank_;
+  wire.dst = to;
+  wire.tag = tag;
+  wire.data.resize(payload.size());
+  wire.clock = clock_;
+  account(std::move(wire));
+  world_.fabric_.signal(to, tag, net::ThreadSignal{rank_, clock_, std::move(payload)});
+}
+
+std::vector<std::byte> ThreadProcess::wait_signal(std::uint64_t tag) {
+  auto message = world_.fabric_.wait_signal(rank_, tag, world_.deadline_);
+  if (!message) throw ThreadWorld::StuckRank{};
+  clock_.tick(rank_);
+  clock_.merge_from(message->clock);
+  return std::move(message->payload);
+}
+
+void ThreadProcess::sleep(std::uint64_t ns) {
+  clock_.tick(rank_);
+  const auto pause = capped(ns, kMaxSleep);
+  if (pause.count() > 0) {
+    std::this_thread::sleep_for(pause);
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+void ThreadProcess::compute(std::uint64_t ns) {
+  clock_.tick(rank_);
+  const auto pause = capped(ns, kMaxCompute);
+  if (pause.count() > 0) {
+    std::this_thread::sleep_for(pause);
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace dsmr::runtime

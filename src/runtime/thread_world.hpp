@@ -1,0 +1,220 @@
+// The real-threads execution backend: each rank is one OS thread of this
+// process, and the detector runs inline on the put/get path.
+//
+// Where runtime::World simulates the machine on a single-threaded
+// cooperative engine (and is therefore seeded, replayable, and the oracle),
+// a ThreadWorld executes ranks as std::threads sharing the PublicSegment
+// state directly — the deployment shape the paper claims for the
+// NIC-resident detector. The schedule is whatever the real machine
+// produces: runs are NOT replayable, and harnesses compare backends by
+// final verdict *signature* (completion + which areas raced), never by
+// schedule (docs/testing.md, "Backends").
+//
+// Detection model. Each one-sided op ticks the initiator's thread-confined
+// vector clock and checks inline, under the home's per-area *stripe* mutex
+// (stripe = area id mod stripes — the per-NIC striped locking of a real
+// home NIC), against the area's stored state:
+//
+//   tick; lock stripe; core::check_access(issue clock vs V/W);
+//   store V (and W for writes) := issue clock; move the bytes; unlock.
+//
+// The stored clock is the *initiator's issue clock* (a genuine event clock,
+// so the epoch O(1) fast path applies — and debug builds auto-cross-check
+// every inline verdict against check_access_oracle). This differs from the
+// sim, which stores the home NIC's post-event clock; both induce the same
+// verdicts on the generated-program families the differential harness
+// compares (fuzz/thread_harness.hpp explains why), but per-event clock
+// values differ — one more reason comparison is by signature.
+//
+// Happens-before edges beyond program order, all backed by real
+// synchronization (a mutex or mailbox the edge physically passes through):
+//  * signal → wait_signal delivers the sender's clock (receive event);
+//  * user lock release → next acquire merges the handoff clock (when
+//    lock_clock_handoff, as in the sim);
+//  * a get merges the stored W it read from (reads-from edge);
+//  * an acked put merges the area's pre-update V ∨ W (completion edge),
+//    when acked_puts — matching the sim's ack-carries-home-clock regime.
+//
+// Logically racy programs stay *physically* race-free (TSan-clean): every
+// byte of shared payload moves under the area's stripe mutex; a flagged
+// race is a property of the clocks, not a torn access.
+//
+// Shutdown is unconditional: every blocking wait carries the run deadline,
+// so an orphaned wait (deadlocked program) becomes a reported stuck rank
+// and run() still joins every thread — no leaks for ASan to find.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clocks/vector_clock.hpp"
+#include "core/race_report.hpp"
+#include "core/rules.hpp"
+#include "core/types.hpp"
+#include "mem/global_address.hpp"
+#include "mem/public_segment.hpp"
+#include "net/thread_fabric.hpp"
+
+namespace dsmr::runtime {
+
+class ThreadProcess;
+
+struct ThreadWorldConfig {
+  int nprocs = 2;
+  core::DetectorMode mode = core::DetectorMode::kDualClock;
+  bool lock_clock_handoff = true;
+  bool acked_puts = true;
+  std::uint32_t segment_bytes = 1 << 20;  ///< public memory per rank.
+  /// Detector stripes per home: concurrent ops on different areas of one
+  /// home contend only when area ids collide mod `stripes`.
+  int stripes = 8;
+  /// Join watchdog: every blocking wait gives up this long after run()
+  /// starts, turning any deadlock into stuck ranks instead of a hang.
+  std::chrono::milliseconds run_timeout{20'000};
+  bool print_races = false;  ///< echo race reports to stderr (§IV.D).
+};
+
+struct ThreadRunReport {
+  bool completed = false;         ///< every spawned body ran to its end.
+  std::vector<Rank> stuck_ranks;  ///< bodies that hit the deadline blocked.
+  std::uint64_t race_count = 0;
+  std::uint64_t checks = 0;       ///< inline check_access invocations.
+  std::uint64_t wall_ns = 0;      ///< run() wall time (checks/sec = checks/wall).
+};
+
+class ThreadWorld {
+ public:
+  explicit ThreadWorld(ThreadWorldConfig config);
+  ~ThreadWorld();
+
+  ThreadWorld(const ThreadWorld&) = delete;
+  ThreadWorld& operator=(const ThreadWorld&) = delete;
+
+  const ThreadWorldConfig& config() const { return config_; }
+  int nprocs() const { return config_.nprocs; }
+
+  /// Registers `bytes` of shared data in `home`'s public memory. Pre-run
+  /// only: the area index and lock table are immutable once threads start,
+  /// which is what makes their concurrent lookup lock-free.
+  mem::GlobalAddress alloc(Rank home, std::uint32_t bytes, std::string name);
+
+  /// Installs the program for `rank` (a plain blocking function — ranks are
+  /// threads here, not coroutines).
+  void spawn(Rank rank, std::function<void(ThreadProcess&)> body);
+
+  /// Starts one thread per spawned rank, joins them all (always — see the
+  /// deadline contract above), and reports.
+  ThreadRunReport run();
+
+  // ---- inspection (post-run unless noted) ----
+  core::RaceLog& races() { return races_; }
+  mem::PublicSegment& segment(Rank rank);
+  ThreadProcess& process(Rank rank);
+  /// Folded traffic ledger (per-rank shards merged; see ThreadFabric).
+  net::TrafficCounters traffic() const { return fabric_.fold(); }
+
+ private:
+  friend class ThreadProcess;
+
+  /// Thrown by blocking waits at the deadline; caught by the thread wrapper
+  /// in run(), which records the rank as stuck.
+  struct StuckRank {};
+
+  /// FIFO ticket lock backing one area's user-visible NIC lock, plus the
+  /// release→acquire handoff clock.
+  struct UserLock {
+    std::mutex mutex;
+    std::condition_variable turn;
+    std::uint64_t next_ticket = 0;
+    std::uint64_t now_serving = 0;
+    /// Tickets whose waiter hit the deadline and left; the serving counter
+    /// skips them so one stuck rank doesn't wedge the whole queue.
+    std::set<std::uint64_t> abandoned;
+    clocks::VectorClock handoff;  ///< empty until the first release.
+  };
+
+  struct Node {
+    Node(Rank rank, const ThreadWorldConfig& config);
+    mem::PublicSegment segment;
+    std::unique_ptr<std::mutex[]> stripes;
+    /// One lock per registered area, indexed by AreaId. Grown pre-run only.
+    std::vector<std::unique_ptr<UserLock>> user_locks;
+  };
+
+  std::mutex& stripe(Rank home, mem::AreaId area);
+  void record_race(core::AccessKind kind, Rank accessor, Rank home,
+                   const mem::Area& area, const clocks::VectorClock& accessor_clock,
+                   const core::Verdict& verdict, std::uint64_t event_id,
+                   std::uint64_t prior_event_id);
+
+  ThreadWorldConfig config_;
+  net::ThreadFabric fabric_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<ThreadProcess>> processes_;
+  std::vector<std::function<void(ThreadProcess&)>> bodies_;
+  core::RaceLog races_;
+  std::mutex races_mutex_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool ran_ = false;
+};
+
+/// One rank's blocking op surface — the threaded analogue of
+/// runtime::Process. Confined to its own thread during run(); the clock is
+/// thread-local state, all cross-thread edges go through ThreadWorld's
+/// mutexes and the fabric's mailboxes.
+class ThreadProcess {
+ public:
+  ThreadProcess(Rank rank, ThreadWorld& world);
+
+  Rank rank() const { return rank_; }
+  int nprocs() const { return world_.nprocs(); }
+  const clocks::VectorClock& clock() const { return clock_; }
+  std::uint64_t checks() const { return checks_; }
+
+  /// Blocking acked/unacked write of `data` to the area at `dst`.
+  void put(mem::GlobalAddress dst, const std::vector<std::byte>& data);
+  /// Blocking read of `len` bytes from the area at `src`.
+  std::vector<std::byte> get(mem::GlobalAddress src, std::uint32_t len);
+
+  /// User-visible NIC area lock (FIFO; merges the handoff clock when
+  /// lock_clock_handoff).
+  void lock(mem::GlobalAddress addr);
+  void unlock(mem::GlobalAddress addr);
+
+  /// Control-plane signal carrying the sender's clock (+ payload).
+  void signal(Rank to, std::uint64_t tag, std::vector<std::byte> payload = {});
+  /// Blocks for a signal with `tag`; merges the sender's clock (receive
+  /// event) and returns the payload. Deadline-bounded (stuck on timeout).
+  std::vector<std::byte> wait_signal(std::uint64_t tag);
+
+  /// Virtual-duration ops, mapped to bounded real pauses: the virtual `ns`
+  /// only shapes interleavings here, it is not a timing promise.
+  void sleep(std::uint64_t ns);
+  void compute(std::uint64_t ns);
+
+ private:
+  friend class ThreadWorld;
+
+  struct Resolved {
+    ThreadWorld::Node* node;
+    mem::Area* area;
+  };
+  Resolved resolve(mem::GlobalAddress addr, std::uint32_t len);
+  std::uint64_t next_event_id() { return (static_cast<std::uint64_t>(rank_) << 40) | ++ops_; }
+  void account(net::Message m);
+
+  Rank rank_;
+  ThreadWorld& world_;
+  clocks::VectorClock clock_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace dsmr::runtime

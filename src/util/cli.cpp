@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "util/assert.hpp"
 
@@ -65,6 +66,12 @@ std::optional<SeedRange> parse_seed_range(const std::string& text,
     const auto count = parse_u64(text);
     if (!count) return fail("'" + text + "' is not a seed count (expected N or LO..HI)");
     if (*count == 0) return fail("seed count must be positive");
+    // The last seed is first + count - 1; past 2^64-1 the sweep's seeds
+    // would silently wrap around and repeat low seeds.
+    if (*count - 1 > std::numeric_limits<std::uint64_t>::max() - default_first) {
+      return fail("seed count '" + text + "' overflows past seed 2^64-1 (first seed " +
+                  std::to_string(default_first) + ")");
+    }
     return SeedRange{default_first, *count};
   }
   const auto lo = parse_u64(text.substr(0, dots));

@@ -33,6 +33,10 @@ struct SeedRange {
 ///   "LO..HI"  — the inclusive range [LO, HI]
 /// Malformed text (empty, non-numeric, trailing garbage, HI < LO, zero
 /// count) returns nullopt and stores a caller-printable message in *error.
+/// Overflow is rejected, not wrapped: every seed of the result — up to and
+/// including the last, `first + count - 1` — is representable in uint64
+/// ("0..18446744073709551615" and an "N" whose sweep would run past
+/// 2^64-1 both fail loudly instead of silently repeating low seeds).
 std::optional<SeedRange> parse_seed_range(const std::string& text,
                                           std::uint64_t default_first,
                                           std::string* error = nullptr);

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "util/cli.hpp"
@@ -217,6 +219,34 @@ TEST(SeedRange, RejectsMalformedRangesWithAMessage) {
   // The near-maximal range is still representable and accepted.
   EXPECT_EQ(parse_seed_range("1..18446744073709551615", 1),
             (SeedRange{1, 18446744073709551615ULL}));
+}
+
+TEST(SeedRange, CountFormOverflowAtTheU64Boundary) {
+  // Accepted exactly up to the edge: the last seed first + count - 1 may
+  // equal 2^64-1 but never pass it.
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(parse_seed_range("18446744073709551615", 1), (SeedRange{1, max}));
+  EXPECT_EQ(parse_seed_range("1", max), (SeedRange{max, 1}));
+  EXPECT_EQ(parse_seed_range("2", max - 1), (SeedRange{max - 1, 2}));
+
+  // One past the edge: the sweep would wrap past 2^64-1 and silently
+  // repeat low seeds — rejected with a message instead.
+  for (const auto& [text, first] :
+       std::vector<std::pair<std::string, std::uint64_t>>{
+           {"18446744073709551615", 2},  // last seed = 2^64, unrepresentable.
+           {"2", max},
+           {"3", max - 1}}) {
+    std::string error;
+    EXPECT_FALSE(parse_seed_range(text, first, &error).has_value())
+        << text << " from " << first;
+    EXPECT_NE(error.find("overflows"), std::string::npos) << error;
+  }
+
+  // The inclusive-range form caps at HI = 2^64-1 by grammar; the boundary
+  // singleton and the widest non-wrapping ranges parse.
+  EXPECT_EQ(parse_seed_range("18446744073709551615..18446744073709551615", 1),
+            (SeedRange{max, 1}));
+  EXPECT_EQ(parse_seed_range("2..18446744073709551615", 1), (SeedRange{2, max - 1}));
 }
 
 TEST(Cli, SeedRangeFlagSharedGrammar) {

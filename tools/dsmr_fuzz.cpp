@@ -31,6 +31,19 @@
 //             [--json FILE] [--repro-dir DIR] [--no-shrink] [--fault PLAN]
 //             [--faults PLAN;PLAN;...] [--verbose]
 //   dsmr_fuzz --replay FILE [--threads N]
+//   dsmr_fuzz --backend threaded|both [--thread-reps N] [--sim-seeds N]
+//             [--stripes N] [--thread-timeout-ms MS] [generation flags]
+//
+// `--backend` selects the execution backend (default `sim`, the full
+// conformance grid above). `threaded` runs each generated program on the
+// real-threads backend (runtime::ThreadWorld: one OS thread per rank, the
+// detector inline on the put/get path) and self-checks verdict signatures
+// against the program's construction contract; `both` additionally runs
+// the sim backend as the oracle and counts any clean/always-racy signature
+// disagreement as a divergence (exit 1). Real schedules are not
+// seeded-replayable, so kSometimes manifestation is reported
+// informationally only — see docs/testing.md, "Backends". The summary
+// reports inline-detector throughput (checks/sec) over the threaded runs.
 //
 // Exit status: 0 when every program conforms (or a --replay reproduces its
 // recorded check), 1 on any disagreement (or a failed replay), 2 on usage
@@ -54,6 +67,7 @@
 #include "fuzz/generate.hpp"
 #include "fuzz/harness.hpp"
 #include "fuzz/shrink.hpp"
+#include "fuzz/thread_harness.hpp"
 #include "net/fault.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
@@ -155,7 +169,9 @@ int main(int argc, char** argv) {
                 "[--schedule uniform|coverage] [--corpus-dir DIR] [--schedule-seeds K] "
                 "[--perturbations K] [--perturb-min NS] [--perturb-max NS] "
                 "[--threads N] [--budget-ms MS] [--json FILE] [--repro-dir DIR] "
-                "[--no-shrink] [--fault PLAN] [--faults PLAN;PLAN;...] [--verbose] | "
+                "[--no-shrink] [--fault PLAN] [--faults PLAN;PLAN;...] "
+                "[--backend sim|threaded|both] [--thread-reps N] [--sim-seeds N] "
+                "[--stripes N] [--thread-timeout-ms MS] [--verbose] | "
                 "--replay FILE");
   const std::string replay_path = cli.get_string("replay", "");
   const auto threads =
@@ -247,8 +263,109 @@ int main(int argc, char** argv) {
   const bool drop_live_armed =
       std::any_of(fault_plans.begin(), fault_plans.end(),
                   [](const net::FaultPlan& p) { return p.drop_live_reports; });
+  const std::string backend = cli.get_string("backend", "sim");
+  const auto thread_reps = static_cast<int>(cli.get_int("thread-reps", 3));
+  const auto sim_seeds = cli.get_uint("sim-seeds", 2);
+  const auto stripes = static_cast<int>(cli.get_int("stripes", 8));
+  const auto thread_timeout_ms = cli.get_int("thread-timeout-ms", 10'000);
+  if (backend != "sim" && backend != "threaded" && backend != "both") {
+    std::fprintf(stderr, "unknown --backend %s (sim|threaded|both)\n", backend.c_str());
+    return 2;
+  }
+  if (thread_reps <= 0 || stripes <= 0 || thread_timeout_ms <= 0) {
+    std::fprintf(stderr,
+                 "--thread-reps, --stripes and --thread-timeout-ms must be positive\n");
+    return 2;
+  }
   const bool verbose = cli.get_flag("verbose");
   cli.finish();
+
+  if (backend != "sim") {
+    fuzz::ThreadSweepConfig tsweep;
+    tsweep.base = gen;
+    tsweep.seeds = seeds;
+    tsweep.planted_fraction = planted_fraction;
+    tsweep.bug_kinds = bug_kinds;
+    tsweep.verbose = verbose;
+    tsweep.diff.thread_reps = thread_reps;
+    tsweep.diff.sim_schedule_seeds = sim_seeds;
+    tsweep.diff.compare_sim = backend == "both";
+    tsweep.diff.thread.stripes = stripes;
+    tsweep.diff.thread.timeout = std::chrono::milliseconds(thread_timeout_ms);
+
+    const auto start = std::chrono::steady_clock::now();
+    std::printf("--- dsmr_fuzz --backend %s: seeds [%llu..%llu], profile %s, %d "
+                "threaded rep(s) × %d rank-thread(s)%s ---\n",
+                backend.c_str(), static_cast<unsigned long long>(seeds.first),
+                static_cast<unsigned long long>(seeds.first + seeds.count - 1),
+                profile.c_str(), thread_reps, gen.nprocs,
+                backend == "both"
+                    ? (", sim oracle with " + std::to_string(sim_seeds) + " seed(s)")
+                          .c_str()
+                    : "");
+    const auto result = fuzz::run_thread_sweep(tsweep);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+
+    for (const auto& divergence : result.divergences) {
+      std::printf("DIVERGENCE s%llu [%s]: %s\n",
+                  static_cast<unsigned long long>(divergence.program_seed),
+                  divergence.arm.c_str(), divergence.failure.c_str());
+    }
+    util::Table table({"programs", "clean", "racy", "sometimes", "thread-runs",
+                       "manifested", "sim-runs", "divergences", "checks",
+                       "checks/sec", "ms"});
+    table.add_row({util::Table::fmt_int(result.programs),
+                   util::Table::fmt_int(result.clean_programs),
+                   util::Table::fmt_int(result.racy_programs),
+                   util::Table::fmt_int(result.sometimes_programs),
+                   util::Table::fmt_int(result.thread_runs),
+                   util::Table::fmt_int(result.thread_manifested),
+                   util::Table::fmt_int(result.sim_runs),
+                   util::Table::fmt_int(result.divergences.size()),
+                   util::Table::fmt_int(result.checks),
+                   util::Table::fmt(result.checks_per_sec(), 0),
+                   util::Table::fmt_int(static_cast<std::uint64_t>(ms))});
+    std::printf("%s", table.render().c_str());
+    std::printf("inline detector: %llu checks over %d rank-thread(s), %.0f checks/sec\n",
+                static_cast<unsigned long long>(result.checks), gen.nprocs,
+                result.checks_per_sec());
+
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write --json %s\n", json_path.c_str());
+        return 2;
+      }
+      out << "{\"tool\":\"dsmr_fuzz\",\"backend\":\"" << trace::json_escape(backend)
+          << "\",\"first_seed\":" << seeds.first << ",\"seed_count\":" << seeds.count
+          << ",\"ranks\":" << gen.nprocs << ",\"thread_reps\":" << thread_reps
+          << ",\"programs\":" << result.programs << ",\"clean\":" << result.clean_programs
+          << ",\"racy\":" << result.racy_programs
+          << ",\"sometimes\":" << result.sometimes_programs
+          << ",\"thread_runs\":" << result.thread_runs
+          << ",\"thread_manifested\":" << result.thread_manifested
+          << ",\"sim_runs\":" << result.sim_runs
+          << ",\"sim_manifested\":" << result.sim_manifested
+          << ",\"checks\":" << result.checks
+          << ",\"checks_per_sec\":" << result.checks_per_sec()
+          << ",\"elapsed_ms\":" << ms
+          << ",\"divergences\":" << result.divergences.size()
+          << ",\"passed\":" << (result.divergences.empty() ? "true" : "false") << "}\n";
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    if (!result.divergences.empty()) {
+      std::printf("BACKEND DIVERGENCE: %zu signature disagreement(s) between the "
+                  "threaded backend and its contract/oracle (docs/testing.md)\n",
+                  result.divergences.size());
+      return 1;
+    }
+    std::printf("all %llu generated program(s) agree across backends\n",
+                static_cast<unsigned long long>(result.programs));
+    return 0;
+  }
 
   fuzz::FuzzSweepConfig sweep;
   sweep.base = gen;
