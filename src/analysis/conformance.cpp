@@ -1,16 +1,20 @@
 #include "analysis/conformance.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <system_error>
 #include <set>
 #include <sstream>
 #include <utility>
 
 #include "baseline/lockset.hpp"
+#include "record/recorder.hpp"
+#include "record/replay.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
@@ -392,6 +396,7 @@ ConformanceReport run_conformance(const Scenario& scenario,
   // Fan out: one World per (seed, perturbation, plan), each job writing its
   // pre-assigned slot so aggregation order never depends on thread timing.
   std::vector<RunVerdicts> runs(total);
+  std::atomic<std::uint64_t> record_replay_checked{0};
   util::parallel_for(total, options.threads, [&](std::uint64_t index) {
     runtime::WorldConfig config = options.base;
     const std::uint64_t point = index / nplans;
@@ -399,9 +404,33 @@ ConformanceReport run_conformance(const Scenario& scenario,
     config.perturb = options.perturbations[point % variants];
     config.fault = plans[index % nplans];
     runtime::World world(config);
+    // Invariant 6 — record→replay: the ordering log this run emits, taken
+    // through the full serialize→parse→fold pipeline, must reproduce the
+    // live verdict signature on this exact coordinate.
+    const bool record =
+        options.record_replay_check &&
+        (config.mode == core::DetectorMode::kOff ||
+         config.transport == core::Transport::kHomeSide);
+    std::optional<record::Recorder> recorder;
+    if (record) {
+      recorder.emplace(static_cast<std::uint32_t>(config.nprocs),
+                       record::Backend::kSim, config.mode,
+                       config.lock_clock_handoff, config.acked_puts);
+      world.set_recorder(&*recorder);
+    }
     scenario.spawn(world);
     const auto report = world.run();
     runs[index] = check_run(world, report);
+    if (record) {
+      recorder->finish(world.races().reports(), report.completed,
+                       report.stuck_ranks);
+      const std::string mismatch =
+          record::check_record_replay_bytes(recorder->log().serialize());
+      if (!mismatch.empty()) {
+        runs[index].failed_checks.push_back("record-replay: " + mismatch);
+      }
+      record_replay_checked.fetch_add(1, std::memory_order_relaxed);
+    }
   });
 
   ConformanceReport summary;
@@ -409,6 +438,7 @@ ConformanceReport run_conformance(const Scenario& scenario,
   summary.expect = scenario.expect;
   summary.runs = std::move(runs);
   summary.base_schedules = options.seeds * variants;
+  summary.record_replay_checked = record_replay_checked.load();
 
   auto diverge = [&summary, &scenario](const RunVerdicts& run, std::string check,
                                        std::string detail) {
@@ -438,6 +468,9 @@ ConformanceReport run_conformance(const Scenario& scenario,
       ++summary.incomplete_runs;
       if (!run.diagnostic.empty()) ++summary.watchdog_runs;
       if (!scenario.may_deadlock) diverge(run, "unexpected-deadlock", run.diagnostic);
+      // check_run bails early on incomplete runs, but the record→replay
+      // invariant still applies (the footer carries the stuck verdict).
+      split_failed_checks(run);
       continue;
     }
     split_failed_checks(run);
@@ -470,7 +503,8 @@ ConformanceReport run_conformance(const Scenario& scenario,
       if (!run.completed) {
         if (base.completed) diverge(run, "fault-not-recovered", run.diagnostic);
         // Base deadlocked too (may_deadlock scenario): nothing to hold the
-        // fault run to.
+        // fault run to — but the record→replay invariant still applies.
+        split_failed_checks(run);
         continue;
       }
       split_failed_checks(run);
@@ -495,9 +529,12 @@ ConformanceReport run_conformance(const Scenario& scenario,
           diverge(run, "unclean-failure",
                   "unrecoverable plan completed with different verdicts");
         }
-      } else if (run.diagnostic.empty()) {
-        diverge(run, "silent-non-quiescence",
-                "unrecoverable plan stopped without a watchdog diagnostic");
+      } else {
+        if (run.diagnostic.empty()) {
+          diverge(run, "silent-non-quiescence",
+                  "unrecoverable plan stopped without a watchdog diagnostic");
+        }
+        split_failed_checks(run);
       }
     }
   }
@@ -566,6 +603,9 @@ std::string ConformanceReport::render() const {
     out << ", " << fault_runs << " fault runs (" << fault_transparent_runs
         << " transparent, " << watchdog_runs << " watchdog)";
   }
+  if (record_replay_checked > 0) {
+    out << ", " << record_replay_checked << " record-replay checked";
+  }
   out << ", " << disagreements.size() << " disagreements";
   for (const auto& divergence : disagreements) {
     out << "\n  DISAGREEMENT " << divergence.describe();
@@ -583,6 +623,7 @@ void ConformanceReport::write_json(std::ostream& out) const {
       << ",\"base_schedules\":" << base_schedules << ",\"fault_runs\":" << fault_runs
       << ",\"fault_transparent_runs\":" << fault_transparent_runs
       << ",\"watchdog_runs\":" << watchdog_runs
+      << ",\"record_replay_checked\":" << record_replay_checked
       << ",\"min_area_recall\":" << min_area_recall << ",\"passed\":"
       << (passed() ? "true" : "false") << ",\"disagreements\":[";
   for (std::size_t i = 0; i < disagreements.size(); ++i) {

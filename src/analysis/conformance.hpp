@@ -155,6 +155,13 @@ struct ConformanceOptions {
   /// legitimately re-roll). The clean-failure invariant on unrecoverable
   /// plans is always enforced.
   bool expect_fault_transparency = true;
+  /// Attach an ordering recorder (record/recorder.hpp) to every grid run and
+  /// require that the serialized log, parsed back and folded offline through
+  /// core::check_access, reproduces the live verdict signature exactly — on
+  /// every (seed, perturbation, fault plan) coordinate. Skipped silently on
+  /// wire layouts recording does not support (non-home-side transports with
+  /// the detector on).
+  bool record_replay_check = true;
 };
 
 struct ConformanceReport {
@@ -170,6 +177,7 @@ struct ConformanceReport {
   std::uint64_t lockset_divergences = 0;  ///< informational, never failures.
   std::uint64_t fault_runs = 0;              ///< runs under a fault plan.
   std::uint64_t fault_transparent_runs = 0;  ///< fault runs verdict-identical to base.
+  std::uint64_t record_replay_checked = 0;   ///< runs with the record→fold invariant on.
   std::uint64_t watchdog_runs = 0;  ///< non-quiescent runs that produced a diagnostic.
   double min_area_recall = 1.0;           ///< worst "was the datum flagged" score.
   std::vector<Divergence> disagreements;  ///< hard failures.

@@ -53,14 +53,7 @@ bool VectorClock::lexicographic_less(const VectorClock& other) const {
 
 void VectorClock::encode_compact(std::vector<std::byte>& out) const {
   const ClockValue* values = data();
-  for (std::size_t i = 0; i < size_; ++i) {
-    ClockValue v = values[i];
-    while (v >= 0x80) {
-      out.push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
-      v >>= 7;
-    }
-    out.push_back(static_cast<std::byte>(v));
-  }
+  for (std::size_t i = 0; i < size_; ++i) util::put_varint(out, values[i]);
 }
 
 VectorClock VectorClock::decode_compact(std::span<const std::byte> in, std::size_t n,
@@ -69,20 +62,10 @@ VectorClock VectorClock::decode_compact(std::span<const std::byte> in, std::size
   VectorClock clock(n);
   ClockValue* values = clock.data();
   for (std::size_t i = 0; i < n; ++i) {
-    ClockValue v = 0;
-    int shift = 0;
-    while (true) {
-      DSMR_REQUIRE(pos < in.size(), "compact clock decode ran past the buffer");
-      const auto byte = static_cast<ClockValue>(in[pos++]);
-      // A u64 takes at most 10 varint bytes and the 10th (shift 63) may only
-      // carry the top bit: anything else would silently drop high bits.
-      DSMR_REQUIRE(shift < 64 && (shift < 63 || (byte & 0x7f) <= 1),
-                   "compact clock component overflows 64 bits");
-      v |= (byte & 0x7f) << shift;
-      if ((byte & 0x80) == 0) break;
-      shift += 7;
-    }
-    values[i] = v;
+    const auto v = util::try_get_varint(in, &pos);
+    DSMR_REQUIRE(v.has_value(), "compact clock decode ran past the buffer "
+                                "or a component overflows 64 bits");
+    values[i] = *v;
   }
   if (offset) *offset = pos;
   return clock;

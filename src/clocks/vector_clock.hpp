@@ -23,6 +23,7 @@
 #include "clocks/ordering.hpp"
 #include "util/assert.hpp"
 #include "util/types.hpp"
+#include "util/varint.hpp"
 
 namespace dsmr::clocks {
 
@@ -123,15 +124,9 @@ class VectorClock {
   // debugging scale. The fixed layout survives as `encode`/`decode` for
   // consumers needing random access (`fixed_wire_size` bytes).
 
-  /// Size in bytes of one component's LEB128 encoding.
-  static std::size_t varint_size(ClockValue v) {
-    std::size_t bytes = 1;
-    while (v >= 0x80) {
-      v >>= 7;
-      ++bytes;
-    }
-    return bytes;
-  }
+  /// Size in bytes of one component's LEB128 encoding (util/varint.hpp —
+  /// the same encoding the record/replay event log uses).
+  static std::size_t varint_size(ClockValue v) { return util::varint_size(v); }
 
   /// Bytes of the compact encoding — the per-clock wire cost charged by the
   /// communication-overhead benches for each piggybacked clock.

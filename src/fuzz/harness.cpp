@@ -10,6 +10,8 @@
 #include <system_error>
 #include <utility>
 
+#include "record/recorder.hpp"
+#include "record/replay.hpp"
 #include "util/assert.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -178,8 +180,11 @@ ProgramVerdict check_program(const Program& program, const FuzzCheckOptions& opt
 
 std::string serialize_repro(const Repro& repro) {
   DSMR_REQUIRE(!repro.check.empty(), "repro needs the fired check's name");
+  DSMR_REQUIRE(repro.record_log.find('/') == std::string::npos &&
+                   repro.record_log.find(' ') == std::string::npos,
+               "record log reference must be a bare basename");
   std::ostringstream out;
-  out << "dsmr-fuzz-repro v3\n";
+  out << "dsmr-fuzz-repro v4\n";
   out << "check " << repro.check << "\n";
   // FaultPlan::to_string is canonical, so serialize → parse → serialize is
   // byte-identical and the repro round-trips the full replay coordinate.
@@ -190,6 +195,9 @@ std::string serialize_repro(const Repro& repro) {
       << " " << repro.perturb.salt << "\n";
   out << "shrunk " << (repro.shrunk ? 1 : 0) << "\n";
   out << "manifestation " << repro.manifested << " " << repro.schedules << "\n";
+  // v4: optional companion-log reference. The basename is resolved relative
+  // to the .repro file's own directory by the tools.
+  if (!repro.record_log.empty()) out << "record " << repro.record_log << "\n";
   out << serialize(repro.program);
   return out.str();
 }
@@ -215,9 +223,13 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* error) {
     return line.substr(key.size() + 1);
   };
 
-  if (!next_line() || line != "dsmr-fuzz-repro v3") {
-    return fail("expected header 'dsmr-fuzz-repro v3'");
+  // v3 repros (no `record` line) are still produced by old artifacts and
+  // parse unchanged; v4 added the optional companion-log reference.
+  if (!next_line() ||
+      (line != "dsmr-fuzz-repro v3" && line != "dsmr-fuzz-repro v4")) {
+    return fail("expected header 'dsmr-fuzz-repro v3' or 'v4'");
   }
+  const bool v4 = line == "dsmr-fuzz-repro v4";
   Repro repro;
   if (!next_line()) return fail("truncated");
   const auto check = field("check");
@@ -283,8 +295,21 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* error) {
     repro.schedules = *den;
   }
 
-  // The rest of the file is the program's own canonical serialization.
+  // The rest of the file is the program's own canonical serialization,
+  // preceded (v4 only) by an optional `record <basename>` line.
   std::string program_text;
+  if (next_line()) {
+    const auto record = v4 ? field("record") : std::nullopt;
+    if (record) {
+      if (record->empty() || record->find('/') != std::string::npos ||
+          record->find(' ') != std::string::npos) {
+        return fail("record log reference must be a bare basename");
+      }
+      repro.record_log = *record;
+    } else {
+      program_text += line + "\n";
+    }
+  }
   while (std::getline(in, line)) program_text += line + "\n";
   std::string program_error;
   auto program = parse_program(program_text, &program_error);
@@ -315,6 +340,77 @@ std::vector<std::string> replay_repro(const Repro& repro, int threads) {
 bool reproduces(const Repro& repro, int threads) {
   const auto fired = replay_repro(repro, threads);
   return std::find(fired.begin(), fired.end(), repro.check) != fired.end();
+}
+
+std::vector<std::byte> record_coordinate(const Program& program,
+                                         std::uint64_t program_seed,
+                                         std::uint64_t schedule_seed,
+                                         const sim::PerturbConfig& perturb,
+                                         const net::FaultPlan& fault) {
+  std::string error;
+  DSMR_REQUIRE(validate(program, &error), "record_coordinate: " << error);
+  auto shared = std::make_shared<const Program>(program);
+  const auto scenario = to_scenario(shared, "record");
+
+  runtime::WorldConfig config;
+  config.nprocs = program.nprocs;
+  config.seed = schedule_seed;
+  config.perturb = perturb;
+  config.fault = fault;
+  DSMR_REQUIRE(config.mode == core::DetectorMode::kOff ||
+                   config.transport == core::Transport::kHomeSide,
+               "record_coordinate: wire layout does not support recording");
+
+  runtime::World world(config);
+  record::Recorder recorder(static_cast<std::uint32_t>(config.nprocs),
+                            record::Backend::kSim, config.mode,
+                            config.lock_clock_handoff, config.acked_puts);
+  // Self-describing provenance: a log found on disk carries everything
+  // needed to re-run its coordinate, without the companion .repro.
+  recorder.set_metadata("program", serialize(program));
+  recorder.set_metadata("program_seed", std::to_string(program_seed));
+  recorder.set_metadata("schedule_seed", std::to_string(schedule_seed));
+  recorder.set_metadata("perturb", std::to_string(perturb.min_skew_ns) + " " +
+                                       std::to_string(perturb.max_skew_ns) +
+                                       " " + std::to_string(perturb.salt));
+  recorder.set_metadata("fault", fault.to_string());
+  world.set_recorder(&recorder);
+  scenario.spawn(world);
+  const auto report = world.run();
+  recorder.finish(world.races().reports(), report.completed, report.stuck_ranks);
+  return recorder.log().serialize();
+}
+
+std::string check_repro_log(const Repro& repro,
+                            std::span<const std::byte> log_bytes) {
+  DSMR_REQUIRE(!repro.record_log.empty(), "repro has no companion log");
+  // Corruption first: a truncated or bit-flipped log fails with the parser's
+  // structured diagnostic, not a raw byte mismatch.
+  std::string error;
+  const auto stored = record::Log::parse(log_bytes, &error);
+  if (!stored) return error;
+  // The embedded verdicts must fold back from the stored ordering alone.
+  const std::string fold = record::check_record_replay(*stored);
+  if (!fold.empty()) return fold;
+  // Byte-identical cross-process replay: re-running the repro's coordinate
+  // re-records the exact bytes, or the log does not belong to this repro.
+  const auto fresh = record_coordinate(repro.program, repro.program_seed,
+                                       repro.schedule_seed, repro.perturb,
+                                       repro.fault);
+  if (fresh.size() != log_bytes.size() ||
+      !std::equal(fresh.begin(), fresh.end(), log_bytes.begin())) {
+    std::size_t diverge = 0;
+    while (diverge < std::min(fresh.size(), log_bytes.size()) &&
+           fresh[diverge] == log_bytes[diverge]) {
+      ++diverge;
+    }
+    std::ostringstream out;
+    out << "[log-mismatch] re-recorded coordinate diverges from stored log at "
+        << "byte " << diverge << " (stored " << log_bytes.size()
+        << " bytes, re-recorded " << fresh.size() << ")";
+    return out.str();
+  }
+  return "";
 }
 
 // ---------------------------------------------------------------------------
@@ -473,11 +569,29 @@ struct Draw {
   std::string arm;
 };
 
-SweepOutcome run_draw(const Draw& draw, const FuzzCheckOptions& check, bool verbose) {
+SweepOutcome run_draw(const Draw& draw, const FuzzCheckOptions& check,
+                      bool verbose, const std::string& record_dir) {
   const auto program = generate_program(draw.gen);
   FuzzCheckOptions options = check;
   options.scenario_name = "fuzz-s" + std::to_string(draw.program_seed);
   const auto verdict = check_program(program, options);
+  bool recorded = false;
+  if (!record_dir.empty()) {
+    // Always-on recording: the base coordinate's ordering log, one file per
+    // executed program. Distinct filenames, so pool workers never collide.
+    const auto bytes = record_coordinate(
+        program, draw.program_seed, check.first_schedule_seed,
+        check.perturbations.empty() ? sim::PerturbConfig{}
+                                    : check.perturbations.front(),
+        net::FaultPlan{});
+    const std::string path =
+        record_dir + "/fuzz-s" + std::to_string(draw.program_seed) + ".dsmrlog";
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    DSMR_CHECK_MSG(out.good(), "cannot write recorded log " << path);
+    recorded = true;
+  }
 
   SweepOutcome out;
   out.ran = true;
@@ -492,6 +606,7 @@ SweepOutcome run_draw(const Draw& draw, const FuzzCheckOptions& check, bool verb
   out.watchdog_runs = verdict.report.watchdog_runs;
   out.ops = program.op_count();
   out.signature = coverage_signature(program, verdict);
+  out.recorded = recorded;
   out.failures = verdict.failures;
   if (!verdict.failures.empty()) out.program_text = serialize(program);
   if (verbose) {
@@ -569,6 +684,9 @@ FuzzSweepResult run_fuzz_sweep(const FuzzSweepConfig& config) {
   DSMR_REQUIRE(config.seeds.count > 0, "sweep needs at least one program");
   DSMR_REQUIRE(config.threads >= 1, "sweep needs at least one thread");
   Corpus corpus = config.corpus_dir.empty() ? Corpus{} : Corpus{config.corpus_dir};
+  if (!config.record_dir.empty()) {
+    std::filesystem::create_directories(config.record_dir);
+  }
 
   FuzzSweepResult result;
   result.outcomes.resize(config.seeds.count);
@@ -583,6 +701,7 @@ FuzzSweepResult run_fuzz_sweep(const FuzzSweepConfig& config) {
     result.schedules += outcome.schedules;
     result.fault_runs += outcome.fault_runs;
     result.watchdog_runs += outcome.watchdog_runs;
+    if (outcome.recorded) ++result.recorded_logs;
     run_signatures.insert(outcome.signature);
     outcome.novel = corpus.add(outcome.signature, outcome.arm, outcome.program_seed);
     if (outcome.novel) ++result.corpus_new;
@@ -623,7 +742,8 @@ FuzzSweepResult run_fuzz_sweep(const FuzzSweepConfig& config) {
           }
           draw.arm = config.profile + "/" +
                      (draw.gen.plant_bug ? to_string(draw.gen.bug_kind) : "clean");
-          result.outcomes[offset] = run_draw(draw, config.check, config.verbose);
+          result.outcomes[offset] =
+              run_draw(draw, config.check, config.verbose, config.record_dir);
         });
       }
       pool.wait_idle();
@@ -658,7 +778,8 @@ FuzzSweepResult run_fuzz_sweep(const FuzzSweepConfig& config) {
         draw.gen.seed = draw.program_seed;
         draw.arm = arms[index].label;
         pool.submit([draw, slot = drawn + b, &result, &config] {
-          result.outcomes[slot] = run_draw(draw, config.check, config.verbose);
+          result.outcomes[slot] =
+              run_draw(draw, config.check, config.verbose, config.record_dir);
         });
       }
       pool.wait_idle();

@@ -55,11 +55,13 @@
 //    novelty is judged against everything ever seen.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -139,11 +141,34 @@ struct Repro {
   /// 0/0 when the grid never completed a run.
   std::uint64_t manifested = 0;
   std::uint64_t schedules = 0;
+  /// v4: basename of the companion ordering log recorded at this coordinate
+  /// ("" = none). The .repro + log pair replays byte-identically: re-running
+  /// the coordinate in any process re-records the exact same bytes
+  /// (check_repro_log).
+  std::string record_log;
   Program program;
 };
 
 std::string serialize_repro(const Repro& repro);
 std::optional<Repro> parse_repro(const std::string& text, std::string* error = nullptr);
+
+/// Re-runs one exact (schedule seed, perturbation, fault plan) coordinate of
+/// `program` with an ordering recorder attached and returns the sealed log's
+/// serialized bytes. Deterministic: the same coordinate yields the same
+/// bytes in any process, so recorded logs byte-compare across machines. The
+/// log carries the program text and coordinate as metadata, making it
+/// self-describing for dsmr_replay.
+std::vector<std::byte> record_coordinate(const Program& program,
+                                         std::uint64_t program_seed,
+                                         std::uint64_t schedule_seed,
+                                         const sim::PerturbConfig& perturb,
+                                         const net::FaultPlan& fault);
+
+/// Validates a repro's companion log: parses `log_bytes` (structured error on
+/// corruption), checks its embedded verdicts fold back identically, then
+/// re-records the repro's coordinate and byte-compares. "" = identical.
+std::string check_repro_log(const Repro& repro,
+                            std::span<const std::byte> log_bytes);
 
 /// Re-runs the repro's single schedule under its recorded fault hook.
 /// Returns the normalized names of every check that fired (empty = clean).
@@ -221,6 +246,7 @@ struct SweepOutcome {
   std::size_t ops = 0;
   std::string signature;
   bool novel = false;             ///< first sighting (run + corpus).
+  bool recorded = false;          ///< a log was written under record_dir.
   std::vector<analysis::Divergence> failures;
   /// Canonical text of the failing program (empty when it passed): repro
   /// writing must not depend on regenerating — under coverage scheduling
@@ -263,6 +289,12 @@ struct FuzzSweepConfig {
   int threads = 1;
   bool verbose = false;
   std::string corpus_dir;  ///< "" = in-memory signatures only.
+  /// When non-empty, every executed program's base coordinate (first
+  /// schedule seed, identity perturbation, fault-free) is re-run with an
+  /// ordering recorder and its log written as
+  /// `<record_dir>/fuzz-s<seed>.dsmrlog` (record_coordinate) — the always-on
+  /// recording story at fuzz scale.
+  std::string record_dir;
   /// Polled between batches; return true to stop early (wall-clock budget).
   std::function<bool()> out_of_budget;
 };
@@ -277,6 +309,7 @@ struct FuzzSweepResult {
   std::uint64_t watchdog_runs = 0;        ///< non-quiescent runs with a diagnostic.
   std::uint64_t distinct_signatures = 0;  ///< distinct within this run.
   std::uint64_t corpus_new = 0;           ///< new vs the loaded corpus.
+  std::uint64_t recorded_logs = 0;        ///< logs written under record_dir.
   bool budget_hit = false;
   /// Keyed by "clean" / bug-kind name.
   std::map<std::string, KindStats> kinds;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "fuzz/harness.hpp"
+#include "record/replay.hpp"
 #include "runtime/world.hpp"
 #include "util/assert.hpp"
 
@@ -132,12 +133,19 @@ ThreadProgramOutcome run_program_threaded(const Program& program,
   config.segment_bytes =
       std::max<std::uint32_t>(1 << 16, program.area_bytes *
                                            (static_cast<std::uint32_t>(program.areas) + 1));
+  config.recorder = options.recorder;
+  config.replay = options.replay;
   ThreadWorld world(config);
   spawn_program_threaded(world, std::make_shared<Program>(program));
   ThreadProgramOutcome outcome;
   outcome.report = world.run();
   for (const auto& report : world.races().unique_by_area()) {
     outcome.racy_areas.insert(report.area_name);
+  }
+  outcome.reports = world.races().reports();
+  if (options.recorder != nullptr) {
+    options.recorder->finish(outcome.reports, outcome.report.completed,
+                             outcome.report.stuck_ranks);
   }
   return outcome;
 }
@@ -215,6 +223,39 @@ BackendDiffResult check_program_backends(const Program& program,
         break;  // manifestation is schedule luck — counted, never failed on.
     }
   }
+
+  // --- record → replay determinism ---
+  // One extra recorded run; its log must fold offline AND gate-replay (twice)
+  // to the recorded verdicts. kSometimes included: whatever this schedule
+  // manifested is now a pinned, replayable coordinate.
+  if (options.record_replay) {
+    ThreadRunOptions recording = options.thread;
+    record::Recorder recorder(static_cast<std::uint32_t>(program.nprocs),
+                              record::Backend::kThread, recording.mode,
+                              recording.lock_clock_handoff, recording.acked_puts);
+    recording.recorder = &recorder;
+    const auto live = run_program_threaded(program, recording);
+    result.checks += live.report.checks;
+    result.wall_ns += live.report.wall_ns;
+    const record::Log& log = recorder.log();
+    const std::string fold = record::check_record_replay(log);
+    if (!fold.empty()) fail("record fold: " + fold);
+    ThreadRunOptions replaying = options.thread;
+    replaying.replay = &log;
+    const record::AreaIndex areas = record::make_area_index(log.areas);
+    for (int rep = 0; rep < 2; ++rep) {
+      const auto outcome = run_program_threaded(program, replaying);
+      const record::VerdictSignature sig = record::make_signature(
+          areas, outcome.reports, outcome.report.completed,
+          outcome.report.stuck_ranks);
+      if (!(sig == log.live)) {
+        fail("replay " + std::to_string(rep) +
+             " diverged from its recorded run: " + sig.to_string() + " vs " +
+             log.live.to_string());
+      }
+    }
+    ++result.record_replay_checks;
+  }
   return result;
 }
 
@@ -250,6 +291,7 @@ ThreadSweepResult run_thread_sweep(const ThreadSweepConfig& config) {
     result.thread_manifested += diff.thread_manifested;
     result.sim_runs += diff.sim_runs;
     result.sim_manifested += diff.sim_manifested;
+    result.record_replay_checks += diff.record_replay_checks;
     result.checks += diff.checks;
     result.wall_ns += diff.wall_ns;
     for (const auto& failure : diff.failures) {

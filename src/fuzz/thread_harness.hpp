@@ -42,6 +42,7 @@
 
 #include "fuzz/generate.hpp"
 #include "fuzz/program.hpp"
+#include "record/recorder.hpp"
 #include "runtime/thread_world.hpp"
 #include "util/cli.hpp"
 
@@ -54,6 +55,11 @@ struct ThreadRunOptions {
   core::DetectorMode mode = core::DetectorMode::kDualClock;
   bool lock_clock_handoff = true;
   bool acked_puts = true;
+  /// Record this run's ordering (record/recorder.hpp); finish() is called
+  /// with the run's verdicts before run_program_threaded returns.
+  record::Recorder* recorder = nullptr;
+  /// Replay a recorded log instead of free-running (gated, deterministic).
+  const record::Log* replay = nullptr;
 };
 
 /// Allocates the program's areas (same homes and "fz<i>" names as the sim
@@ -65,7 +71,8 @@ ProgramHandles spawn_program_threaded(runtime::ThreadWorld& world,
 /// One threaded run's verdict signature.
 struct ThreadProgramOutcome {
   runtime::ThreadRunReport report;
-  std::set<std::string> racy_areas;  ///< area names with >= 1 report.
+  std::set<std::string> racy_areas;          ///< area names with >= 1 report.
+  std::vector<core::RaceReport> reports;     ///< full reports, for signatures.
 };
 
 ThreadProgramOutcome run_program_threaded(const Program& program,
@@ -78,6 +85,12 @@ struct BackendDiffOptions {
   int thread_reps = 3;                  ///< real-schedule samples.
   std::uint64_t sim_schedule_seeds = 2; ///< sim oracle runs (seeds 1..K).
   bool compare_sim = true;              ///< false: threaded self-check only.
+  /// Record one extra threaded run, fold its log offline, and gate-replay it
+  /// twice: fold and both replays must reproduce the recorded run's verdict
+  /// signature exactly. This turns kSometimes manifestations — informational
+  /// in the free-running reps — into replayable coordinates: whatever the
+  /// recorded schedule decided IS pinned and must re-derive identically.
+  bool record_replay = true;
 };
 
 struct BackendDiffResult {
@@ -86,6 +99,7 @@ struct BackendDiffResult {
   std::uint64_t thread_manifested = 0;  ///< threaded runs with >= 1 race.
   std::uint64_t sim_runs = 0;
   std::uint64_t sim_manifested = 0;
+  std::uint64_t record_replay_checks = 0;  ///< recorded runs verified.
   std::uint64_t checks = 0;    ///< inline checks across threaded runs.
   std::uint64_t wall_ns = 0;   ///< summed threaded run() wall time.
 
@@ -123,6 +137,7 @@ struct ThreadSweepResult {
   std::uint64_t thread_manifested = 0;
   std::uint64_t sim_runs = 0;
   std::uint64_t sim_manifested = 0;
+  std::uint64_t record_replay_checks = 0;
   std::uint64_t checks = 0;
   std::uint64_t wall_ns = 0;
   std::vector<ThreadSweepDivergence> divergences;

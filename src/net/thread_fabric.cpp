@@ -39,6 +39,31 @@ std::optional<ThreadSignal> ThreadFabric::wait_signal(
   return message;
 }
 
+std::optional<ThreadSignal> ThreadFabric::wait_signal_from(
+    Rank self, std::uint64_t tag, Rank src,
+    std::chrono::steady_clock::time_point deadline) {
+  DSMR_REQUIRE(self >= 0 && self < nprocs(), "wait on rank " << self << " out of range");
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
+  std::unique_lock<std::mutex> guard(box.mutex);
+  std::size_t found = 0;
+  const auto has_match = [&box, tag, src, &found]() {
+    const auto it = box.by_tag.find(tag);
+    if (it == box.by_tag.end()) return false;
+    for (std::size_t i = 0; i < it->second.size(); ++i) {
+      if (it->second[i].src == src) {
+        found = i;
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!box.ready.wait_until(guard, deadline, has_match)) return std::nullopt;
+  auto& queue = box.by_tag.find(tag)->second;
+  ThreadSignal message = std::move(queue[found]);
+  queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(found));
+  return message;
+}
+
 TrafficCounters ThreadFabric::fold() const {
   TrafficCounters total;
   for (const Shard& shard : shards_) total.merge(shard.counters);

@@ -59,6 +59,14 @@ class ThreadFabric {
       Rank self, std::uint64_t tag,
       std::chrono::steady_clock::time_point deadline);
 
+  /// Like wait_signal, but pops the oldest signal from a *specific* sender,
+  /// skipping queued signals from other ranks. Replay needs this: the log
+  /// pins which sender's signal each wait consumed, and the live schedule
+  /// may have raced several same-tag senders into the mailbox.
+  std::optional<ThreadSignal> wait_signal_from(
+      Rank self, std::uint64_t tag, Rank src,
+      std::chrono::steady_clock::time_point deadline);
+
   /// The calling rank's private counter shard. Single-writer by contract:
   /// only rank `self`'s thread may record into it while the run is live.
   TrafficCounters& shard(Rank self) { return shards_[static_cast<std::size_t>(self)].counters; }

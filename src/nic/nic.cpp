@@ -434,6 +434,10 @@ void Nic::handle_lock_request(const Message& m, bool with_clocks) {
 void Nic::handle_unlock(const Message& m) {
   if (m.tag == 1) return;  // delegated grant: the outer holder keeps the lock.
   if (m.flag && config_.lock_clock_handoff && !m.clock.empty()) {
+    if (recorder_ != nullptr) {
+      recorder_->record(record::EventKind::kUnlockApply, m.src,
+                        recorder_->area_index(rank_, m.area));
+    }
     locks_.set_handoff(m.area, m.clock);
   }
   locks_.release(m.area, make_lock_token(m.src, m.op_id));
@@ -524,6 +528,12 @@ void Nic::handle_get_locked(const Message& m) {
 
 void Nic::apply_put(const Message& m) {
   mem::Area& area = segment_.area(m.area);
+  // The whole apply is one atomic home-side event — check, receive_event,
+  // store, ack — so one recorded event covers it.
+  if (recorder_ != nullptr) {
+    recorder_->record(record::EventKind::kPutApply, m.src,
+                      recorder_->area_index(rank_, m.area), m.data.size());
+  }
   bool raced = false;
   if (m.flag && config_.mode != DetectorMode::kOff) {
     const auto verdict = core::check_access(
@@ -555,6 +565,10 @@ void Nic::apply_put(const Message& m) {
 
 sim::Time Nic::serve_get(const Message& m) {
   mem::Area& area = segment_.area(m.area);
+  if (recorder_ != nullptr) {
+    recorder_->record(record::EventKind::kGetApply, m.src,
+                      recorder_->area_index(rank_, m.area), m.length);
+  }
   bool raced = false;
   if (m.flag && config_.mode != DetectorMode::kOff) {
     const auto verdict = core::check_access(

@@ -47,6 +47,7 @@
 #include "net/fabric.hpp"
 #include "nic/lock_manager.hpp"
 #include "nic/node_clock.hpp"
+#include "record/recorder.hpp"
 #include "sim/engine.hpp"
 #include "sim/future.hpp"
 
@@ -103,6 +104,11 @@ class Nic {
   using AreaResolver =
       std::function<const mem::Area*(Rank, std::uint32_t, std::uint32_t)>;
   void set_resolver(AreaResolver resolver) { resolver_ = std::move(resolver); }
+
+  /// Attaches the run's ordering recorder (record/recorder.hpp). The NIC
+  /// emits the home-side events — put apply, get serve, unlock handoff —
+  /// at their atomic commit points. Installed by World::set_recorder.
+  void set_recorder(record::Recorder* recorder) { recorder_ = recorder; }
 
   // ---- instrumented one-sided operations (Algorithms 1 and 2) ----
 
@@ -189,6 +195,7 @@ class Nic {
   core::RaceLog& races_;
   core::EventLog& events_;
   AreaResolver resolver_;
+  record::Recorder* recorder_ = nullptr;
   LockManager locks_;
 
   /// Key of this NIC's entries in the thread-local resolver cache (see

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "record/recorder.hpp"
 #include "runtime/world.hpp"
 #include "util/assert.hpp"
 
@@ -11,6 +12,14 @@ namespace {
 /// Lockset-analysis identity of a user lock: (home rank, area id).
 std::uint64_t lock_identity(Rank home, mem::AreaId area) {
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(home)) << 32) | area;
+}
+
+/// Flat area-table index of `addr`'s area for the attached recorder.
+std::uint64_t recorded_area(World& world, const nic::Nic& nic,
+                            mem::GlobalAddress addr) {
+  const mem::Area* area = nic.resolve(addr.rank, addr.offset, 1);
+  DSMR_CHECK(area != nullptr);
+  return world.recorder()->area_index(addr.rank, area->id);
 }
 }  // namespace
 
@@ -51,6 +60,11 @@ nic::OpContext Process::begin_access(core::AccessKind kind, mem::GlobalAddress a
   event.issue_clock = ctx.issue_clock;
   event.held_locks.assign(held_locks_.begin(), held_locks_.end());
   ctx.event_id = world_.events().record(std::move(event));
+  if (auto* rec = world_.recorder()) {
+    rec->record(kind == core::AccessKind::kWrite ? record::EventKind::kPutIssue
+                                                 : record::EventKind::kGetIssue,
+                rank_, rec->area_index(addr.rank, area->id));
+  }
   return ctx;
 }
 
@@ -66,6 +80,10 @@ sim::Future<void> Process::put_bytes(mem::GlobalAddress dst, std::vector<std::by
   // then I told someone" causally orders later accesses after this write.
   // Without it, puts are the paper's pure one-sided writes (DESIGN.md §4).
   if (world_.config().acked_puts) {
+    if (world_.recorder() != nullptr) {
+      world_.recorder()->record(record::EventKind::kPutAck, rank_,
+                                recorded_area(world_, nic(), dst));
+    }
     world_.node_clock(rank_).merge(dst.rank, result.home_clock);
   }
 }
@@ -74,6 +92,10 @@ sim::Future<std::vector<std::byte>> Process::get(mem::GlobalAddress src,
                                                  std::uint32_t len) {
   const auto ctx = begin_access(core::AccessKind::kRead, src, len);
   const nic::GetResult result = co_await nic().get(src, len, ctx);
+  if (world_.recorder() != nullptr) {
+    world_.recorder()->record(record::EventKind::kGetMerge, rank_,
+                              recorded_area(world_, nic(), src));
+  }
   world_.node_clock(rank_).merge(src.rank, result.home_clock);
   co_return result.data;
 }
@@ -93,6 +115,9 @@ sim::Future<void> Process::lock(mem::GlobalAddress addr) {
   const nic::UserLockResult result = co_await nic().user_lock(addr);
   // Acquisition is an event; merging the previous releaser's clock creates
   // the release→acquire happens-before edge.
+  if (auto* rec = world_.recorder()) {
+    rec->record(record::EventKind::kLock, rank_, rec->area_index(addr.rank, area->id));
+  }
   world_.node_clock(rank_).tick();
   if (!result.handoff.empty()) world_.node_clock(rank_).merge(addr.rank, result.handoff);
   held_locks_.insert(identity);
@@ -104,6 +129,10 @@ sim::Future<void> Process::unlock(mem::GlobalAddress addr) {
   const std::uint64_t identity = lock_identity(addr.rank, area->id);
   DSMR_REQUIRE(held_locks_.count(identity) == 1,
                "unlock of a lock this process does not hold: " << addr.to_string());
+  if (auto* rec = world_.recorder()) {
+    rec->record(record::EventKind::kUnlockIssue, rank_,
+                rec->area_index(addr.rank, area->id));
+  }
   world_.node_clock(rank_).tick();  // release is an event.
   nic().user_unlock(addr, clock());
   held_locks_.erase(identity);
@@ -113,17 +142,32 @@ sim::Future<void> Process::unlock(mem::GlobalAddress addr) {
 }
 
 void Process::signal(Rank to, std::uint64_t tag, std::span<const std::byte> payload) {
+  if (world_.recorder() != nullptr) {
+    world_.recorder()->record(record::EventKind::kSignal, rank_,
+                              static_cast<std::uint64_t>(to), tag);
+  }
   world_.node_clock(rank_).tick();  // send is an event.
   nic().send_signal(to, tag, clock(), {payload.begin(), payload.end()});
 }
 
 sim::Future<std::vector<std::byte>> Process::wait_signal(std::uint64_t tag) {
   const net::Message msg = co_await nic().wait_signal(tag);
+  if (world_.recorder() != nullptr) {
+    // Field d pins WHICH send was consumed: the sender ticks before every
+    // signal, so its own clock component names the send uniquely even when
+    // same-channel signals arrive reordered (perturbation, fault retries).
+    world_.recorder()->record(record::EventKind::kWaitMatch, rank_,
+                              static_cast<std::uint64_t>(msg.src), tag,
+                              msg.clock[static_cast<std::size_t>(msg.src)]);
+  }
   world_.node_clock(rank_).receive_event(msg.src, msg.clock);
   co_return msg.data;
 }
 
 sim::Future<void> Process::compute(sim::Time duration) {
+  if (world_.recorder() != nullptr) {
+    world_.recorder()->record(record::EventKind::kTick, rank_);
+  }
   world_.node_clock(rank_).tick();  // a local event.
   // Wakeup skew (schedule perturbation): the computation "runs long" by a
   // seeded bounded amount — legal, since duration carries no ordering

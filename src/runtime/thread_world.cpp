@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "record/recorder.hpp"
+#include "record/replay.hpp"
 #include "util/assert.hpp"
 
 namespace dsmr::runtime {
@@ -30,6 +32,28 @@ ThreadWorld::ThreadWorld(ThreadWorldConfig config)
     : config_(config), fabric_(config.nprocs) {
   DSMR_REQUIRE(config_.nprocs > 0, "ThreadWorld needs at least one rank");
   DSMR_REQUIRE(config_.stripes > 0, "ThreadWorld needs at least one stripe");
+  if (config_.recorder != nullptr) {
+    const record::LogHeader& header = config_.recorder->header();
+    DSMR_REQUIRE(header.backend == record::Backend::kThread &&
+                     header.nprocs == static_cast<std::uint32_t>(config_.nprocs) &&
+                     header.mode == config_.mode &&
+                     header.lock_clock_handoff == config_.lock_clock_handoff &&
+                     header.acked_puts == config_.acked_puts,
+                 "recorder header does not match this ThreadWorld's config");
+  }
+  if (config_.replay != nullptr) {
+    const record::LogHeader& header = config_.replay->header;
+    DSMR_REQUIRE(header.backend == record::Backend::kThread,
+                 "replay of a " << record::to_string(header.backend)
+                                << " log on the threaded backend");
+    DSMR_REQUIRE(header.nprocs == static_cast<std::uint32_t>(config_.nprocs),
+                 "replay log has " << header.nprocs << " ranks, world has "
+                                   << config_.nprocs);
+    DSMR_REQUIRE(header.lock_clock_handoff == config_.lock_clock_handoff &&
+                     header.acked_puts == config_.acked_puts,
+                 "replay log was recorded under a different clock regime");
+    gate_ = std::make_unique<record::ReplayGate>(*config_.replay);
+  }
   for (Rank r = 0; r < config_.nprocs; ++r) {
     nodes_.push_back(std::make_unique<Node>(r, config_));
     processes_.push_back(std::make_unique<ThreadProcess>(r, *this));
@@ -52,6 +76,20 @@ mem::GlobalAddress ThreadWorld::alloc(Rank home, std::uint32_t bytes, std::strin
   node.user_locks.push_back(std::make_unique<UserLock>());
   DSMR_CHECK_MSG(node.user_locks.size() == node.segment.area_count(),
                  "user-lock table out of step with the area table");
+  if (config_.recorder != nullptr) {
+    config_.recorder->register_area(home, id, bytes, node.segment.area(id).name);
+  }
+  if (config_.replay != nullptr) {
+    // Replay re-executes the recorded program, so allocations must rebuild
+    // the recorded area table entry for entry.
+    const std::uint64_t flat = replay_areas_.add(home, id);
+    DSMR_REQUIRE(flat < config_.replay->areas.size(),
+                 "replay program allocates more areas than the log records");
+    const record::AreaEntry& entry = config_.replay->areas[flat];
+    DSMR_REQUIRE(entry.home == home && entry.size == bytes,
+                 "replay area #" << flat << " (" << node.segment.area(id).name
+                                 << ") does not match the recorded table");
+  }
   return mem::GlobalAddress{home, node.segment.area(id).offset};
 }
 
@@ -114,6 +152,36 @@ std::mutex& ThreadWorld::stripe(Rank home, mem::AreaId area) {
   return node.stripes[area % static_cast<mem::AreaId>(config_.stripes)];
 }
 
+const record::Event* ThreadWorld::replay_enter(Rank rank, record::EventKind kind,
+                                               std::uint64_t detail) {
+  if (!gate_) return nullptr;
+  const record::Event* event = nullptr;
+  switch (gate_->enter(rank, deadline_, &event)) {
+    case record::ReplayGate::Enter::kOk:
+      break;
+    case record::ReplayGate::Enter::kExhausted:
+      // The recorded run had this rank blocked past this point; reproduce
+      // the stuck verdict without waiting out the deadline.
+      throw StuckRank{};
+    case record::ReplayGate::Enter::kTimeout:
+      throw StuckRank{};
+  }
+  // A wait names only its tag up front (the log pins the sender); every
+  // other kind is discriminated by field b (area / destination).
+  const std::uint64_t logged =
+      kind == record::EventKind::kWaitMatch ? event->c : event->b;
+  DSMR_CHECK_MSG(event->kind == kind && logged == detail,
+                 "replay divergence at event #" << gate_->cursor() << ": log has "
+                     << record::to_string(event->kind) << "(" << logged
+                     << "), program executed " << record::to_string(kind) << "("
+                     << detail << ") on rank " << rank);
+  return event;
+}
+
+void ThreadWorld::replay_advance() {
+  if (gate_) gate_->advance();
+}
+
 void ThreadWorld::record_race(core::AccessKind kind, Rank accessor, Rank home,
                               const mem::Area& area,
                               const clocks::VectorClock& accessor_clock,
@@ -159,15 +227,33 @@ void ThreadProcess::account(net::Message m) {
   world_.fabric_.shard(rank_).record(m);
 }
 
+std::uint64_t ThreadProcess::recorded_area(Rank home, mem::AreaId area_id) const {
+  // When replaying, the log's table is authoritative (a re-record run has
+  // both attached, and alloc() keeps the two tables identical).
+  if (world_.config_.replay != nullptr) return world_.replay_areas_.at(home, area_id);
+  return world_.config_.recorder->area_index(home, area_id);
+}
+
 void ThreadProcess::put(mem::GlobalAddress dst, const std::vector<std::byte>& data) {
-  clock_.tick(rank_);
+  record::Recorder* const rec = world_.config_.recorder;
   auto [node, area] = resolve(dst, static_cast<std::uint32_t>(data.size()));
+  const std::uint64_t flat = (rec != nullptr || world_.config_.replay != nullptr)
+                                 ? recorded_area(dst.rank, area->id)
+                                 : 0;
+  world_.replay_enter(rank_, record::EventKind::kThreadPut, flat);
+  clock_.tick(rank_);
   const std::uint64_t event_id = next_event_id();
   const bool acked = world_.config_.acked_puts;
   clocks::VectorClock completion;  ///< pre-update V ∨ W, merged on ack.
   {
     std::lock_guard<std::mutex> guard(world_.stripe(dst.rank, area->id));
     ++checks_;
+    // Linearization point: the stamp is taken under the stripe mutex, so
+    // the merged log orders this op against every other op on the area
+    // exactly as the run did.
+    if (rec != nullptr) {
+      rec->record_thread(rank_, record::EventKind::kThreadPut, flat, data.size());
+    }
     const core::StoredClocks stored{area->v_clock(),        area->w_clock(),
                                     area->last_access_rank, area->last_write_rank,
                                     area->v_state.epoch(),  area->w_state.epoch()};
@@ -216,17 +302,26 @@ void ThreadProcess::put(mem::GlobalAddress dst, const std::vector<std::byte>& da
     ack.clocks_on_wire = false;
   }
   account(std::move(ack));
+  world_.replay_advance();
 }
 
 std::vector<std::byte> ThreadProcess::get(mem::GlobalAddress src, std::uint32_t len) {
-  clock_.tick(rank_);
+  record::Recorder* const rec = world_.config_.recorder;
   auto [node, area] = resolve(src, len);
+  const std::uint64_t flat = (rec != nullptr || world_.config_.replay != nullptr)
+                                 ? recorded_area(src.rank, area->id)
+                                 : 0;
+  world_.replay_enter(rank_, record::EventKind::kThreadGet, flat);
+  clock_.tick(rank_);
   const std::uint64_t event_id = next_event_id();
   clocks::VectorClock reads_from;  ///< the stored W this get observed.
   std::vector<std::byte> data;
   {
     std::lock_guard<std::mutex> guard(world_.stripe(src.rank, area->id));
     ++checks_;
+    if (rec != nullptr) {
+      rec->record_thread(rank_, record::EventKind::kThreadGet, flat, len);
+    }
     const core::StoredClocks stored{area->v_clock(),        area->w_clock(),
                                     area->last_access_rank, area->last_write_rank,
                                     area->v_state.epoch(),  area->w_state.epoch()};
@@ -263,11 +358,20 @@ std::vector<std::byte> ThreadProcess::get(mem::GlobalAddress src, std::uint32_t 
   response.data.resize(len);
   response.clock = reads_from;
   account(std::move(response));
+  world_.replay_advance();
   return data;
 }
 
 void ThreadProcess::lock(mem::GlobalAddress addr) {
+  record::Recorder* const rec = world_.config_.recorder;
   auto [node, area] = resolve(addr, 1);
+  const std::uint64_t flat = (rec != nullptr || world_.config_.replay != nullptr)
+                                 ? recorded_area(addr.rank, area->id)
+                                 : 0;
+  // Gate BEFORE taking a ticket: the FIFO queue then hands out tickets in
+  // the logged grant order, so the grant is immediate (the logged previous
+  // holder's unlock has already executed and advanced the gate).
+  world_.replay_enter(rank_, record::EventKind::kThreadLock, flat);
   ThreadWorld::UserLock& user_lock = *node->user_locks[area->id];
   std::unique_lock<std::mutex> guard(user_lock.mutex);
   const std::uint64_t ticket = user_lock.next_ticket++;
@@ -284,6 +388,8 @@ void ThreadProcess::lock(mem::GlobalAddress addr) {
   if (world_.config_.lock_clock_handoff && user_lock.handoff.size() > 0) {
     clock_.merge_from(user_lock.handoff);
   }
+  // Stamped under the user-lock mutex: grant order IS the logged order.
+  if (rec != nullptr) rec->record_thread(rank_, record::EventKind::kThreadLock, flat);
   net::Message request;
   request.type = net::MsgType::kLockRequest;
   request.src = rank_;
@@ -302,10 +408,16 @@ void ThreadProcess::lock(mem::GlobalAddress addr) {
     grant.clocks_on_wire = false;
   }
   account(std::move(grant));
+  world_.replay_advance();
 }
 
 void ThreadProcess::unlock(mem::GlobalAddress addr) {
+  record::Recorder* const rec = world_.config_.recorder;
   auto [node, area] = resolve(addr, 1);
+  const std::uint64_t flat = (rec != nullptr || world_.config_.replay != nullptr)
+                                 ? recorded_area(addr.rank, area->id)
+                                 : 0;
+  world_.replay_enter(rank_, record::EventKind::kThreadUnlock, flat);
   ThreadWorld::UserLock& user_lock = *node->user_locks[area->id];
   clock_.tick(rank_);
   {
@@ -313,6 +425,9 @@ void ThreadProcess::unlock(mem::GlobalAddress addr) {
     DSMR_REQUIRE(user_lock.now_serving < user_lock.next_ticket,
                  "unlock of an unheld lock on area " << area->name);
     user_lock.handoff = clock_;
+    if (rec != nullptr) {
+      rec->record_thread(rank_, record::EventKind::kThreadUnlock, flat);
+    }
     ++user_lock.now_serving;
     while (user_lock.abandoned.erase(user_lock.now_serving) > 0) {
       ++user_lock.now_serving;
@@ -326,10 +441,20 @@ void ThreadProcess::unlock(mem::GlobalAddress addr) {
   release.area = area->id;
   release.clocks_on_wire = false;
   account(std::move(release));
+  world_.replay_advance();
 }
 
 void ThreadProcess::signal(Rank to, std::uint64_t tag, std::vector<std::byte> payload) {
+  record::Recorder* const rec = world_.config_.recorder;
+  world_.replay_enter(rank_, record::EventKind::kSignal,
+                      static_cast<std::uint64_t>(to));
   clock_.tick(rank_);
+  // Stamped before the mailbox append: the matching wait stamps after its
+  // pop, and pop happens-after append, so send < wait in the merged log.
+  if (rec != nullptr) {
+    rec->record_thread(rank_, record::EventKind::kSignal,
+                       static_cast<std::uint64_t>(to), tag);
+  }
   net::Message wire;
   wire.type = net::MsgType::kSignal;
   wire.src = rank_;
@@ -339,34 +464,65 @@ void ThreadProcess::signal(Rank to, std::uint64_t tag, std::vector<std::byte> pa
   wire.clock = clock_;
   account(std::move(wire));
   world_.fabric_.signal(to, tag, net::ThreadSignal{rank_, clock_, std::move(payload)});
+  world_.replay_advance();
 }
 
 std::vector<std::byte> ThreadProcess::wait_signal(std::uint64_t tag) {
-  auto message = world_.fabric_.wait_signal(rank_, tag, world_.deadline_);
+  record::Recorder* const rec = world_.config_.recorder;
+  std::optional<net::ThreadSignal> message;
+  if (const record::Event* event =
+          world_.replay_enter(rank_, record::EventKind::kWaitMatch, tag)) {
+    // The log pins WHICH sender's signal this wait consumed; the mailbox
+    // already holds it (its send is earlier in the log and has advanced).
+    message = world_.fabric_.wait_signal_from(
+        rank_, tag, static_cast<Rank>(event->b), world_.deadline_);
+  } else {
+    message = world_.fabric_.wait_signal(rank_, tag, world_.deadline_);
+  }
   if (!message) throw ThreadWorld::StuckRank{};
+  if (rec != nullptr) {
+    rec->record_thread(rank_, record::EventKind::kWaitMatch,
+                       static_cast<std::uint64_t>(message->src), tag,
+                       message->clock[static_cast<std::size_t>(message->src)]);
+  }
   clock_.tick(rank_);
   clock_.merge_from(message->clock);
+  world_.replay_advance();
   return std::move(message->payload);
 }
 
 void ThreadProcess::sleep(std::uint64_t ns) {
+  record::Recorder* const rec = world_.config_.recorder;
+  world_.replay_enter(rank_, record::EventKind::kTick, 0);
   clock_.tick(rank_);
-  const auto pause = capped(ns, kMaxSleep);
-  if (pause.count() > 0) {
-    std::this_thread::sleep_for(pause);
-  } else {
-    std::this_thread::yield();
+  if (rec != nullptr) rec->record_thread(rank_, record::EventKind::kTick);
+  // The pause only shakes the live scheduler; under the gate the
+  // interleaving is already forced, so replay skips it.
+  if (world_.config_.replay == nullptr) {
+    const auto pause = capped(ns, kMaxSleep);
+    if (pause.count() > 0) {
+      std::this_thread::sleep_for(pause);
+    } else {
+      std::this_thread::yield();
+    }
   }
+  world_.replay_advance();
 }
 
 void ThreadProcess::compute(std::uint64_t ns) {
+  record::Recorder* const rec = world_.config_.recorder;
+  world_.replay_enter(rank_, record::EventKind::kTick, 0);
   clock_.tick(rank_);
-  const auto pause = capped(ns, kMaxCompute);
-  if (pause.count() > 0) {
-    std::this_thread::sleep_for(pause);
-  } else {
-    std::this_thread::yield();
+  if (rec != nullptr) rec->record_thread(rank_, record::EventKind::kTick);
+  if (world_.config_.replay == nullptr) {
+    const auto pause = capped(ns, kMaxCompute);
+    if (pause.count() > 0) {
+      std::this_thread::sleep_for(pause);
+    } else {
+      std::this_thread::yield();
+    }
   }
+  world_.replay_advance();
 }
 
 }  // namespace dsmr::runtime

@@ -61,6 +61,12 @@
 #include "mem/global_address.hpp"
 #include "mem/public_segment.hpp"
 #include "net/thread_fabric.hpp"
+#include "record/log.hpp"
+
+namespace dsmr::record {
+class Recorder;
+class ReplayGate;
+}  // namespace dsmr::record
 
 namespace dsmr::runtime {
 
@@ -79,6 +85,19 @@ struct ThreadWorldConfig {
   /// starts, turning any deadlock into stuck ranks instead of a hang.
   std::chrono::milliseconds run_timeout{20'000};
   bool print_races = false;  ///< echo race reports to stderr (§IV.D).
+  /// Ordering recorder (record/recorder.hpp), or null. Each op stamps one
+  /// event at its linearization point (inside the stripe / user-lock mutex),
+  /// so the merged log is a legal linearization of the run — the one the
+  /// offline fold and a gated replay reproduce.
+  record::Recorder* recorder = nullptr;
+  /// Recorded log to replay, or null. When set, every op first waits its
+  /// turn at a ReplayGate built from the log's event sequence, which forces
+  /// the nondeterministic thread schedule back into the recorded
+  /// linearization order — two replays of one log produce identical verdict
+  /// signatures. The log's nprocs/backend/handoff/ack regime must match this
+  /// config (checked); the detector mode may differ (record cheap at kOff,
+  /// replay under the full dual-clock detector).
+  const record::Log* replay = nullptr;
 };
 
 struct ThreadRunReport {
@@ -149,6 +168,16 @@ class ThreadWorld {
   };
 
   std::mutex& stripe(Rank home, mem::AreaId area);
+  /// Blocks until the replay gate's cursor reaches an event owned by `rank`,
+  /// then checks it is the expected (kind, detail) — a mismatch means the
+  /// program being replayed is not the one that was recorded. Returns the
+  /// gated event (null when not replaying); throws StuckRank when the log
+  /// has no more events for this rank (the recorded run had it blocked) or
+  /// the deadline passes (schedule divergence — surfaces as a stuck rank and
+  /// therefore a signature mismatch).
+  const record::Event* replay_enter(Rank rank, record::EventKind kind,
+                                    std::uint64_t detail);
+  void replay_advance();
   void record_race(core::AccessKind kind, Rank accessor, Rank home,
                    const mem::Area& area, const clocks::VectorClock& accessor_clock,
                    const core::Verdict& verdict, std::uint64_t event_id,
@@ -162,6 +191,11 @@ class ThreadWorld {
   core::RaceLog races_;
   std::mutex races_mutex_;
   std::chrono::steady_clock::time_point deadline_{};
+  /// (home, id) → flat area-table index while replaying: ops name areas by
+  /// the log's flat index, and alloc() verifies the program registers the
+  /// same area table the recorded run did.
+  record::AreaIndex replay_areas_;
+  std::unique_ptr<record::ReplayGate> gate_;
   bool ran_ = false;
 };
 
@@ -209,6 +243,9 @@ class ThreadProcess {
   Resolved resolve(mem::GlobalAddress addr, std::uint32_t len);
   std::uint64_t next_event_id() { return (static_cast<std::uint64_t>(rank_) << 40) | ++ops_; }
   void account(net::Message m);
+  /// Flat area-table index for the recorder / replay gate. Valid only while
+  /// a recorder or replay log is attached.
+  std::uint64_t recorded_area(Rank home, mem::AreaId area_id) const;
 
   Rank rank_;
   ThreadWorld& world_;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "record/recorder.hpp"
 #include "runtime/process.hpp"
 #include "util/assert.hpp"
 
@@ -53,10 +54,24 @@ World::World(WorldConfig config)
 
 World::~World() = default;
 
+void World::set_recorder(record::Recorder* recorder) {
+  DSMR_REQUIRE(!ran_, "set_recorder after run()");
+  DSMR_REQUIRE(config_.mode == core::DetectorMode::kOff ||
+                   config_.transport == core::Transport::kHomeSide,
+               "recording requires the home-side wire layout, got transport "
+                   << core::to_string(config_.transport) << " with mode "
+                   << core::to_string(config_.mode));
+  recorder_ = recorder;
+  for (auto& node : nodes_) node->nic.set_recorder(recorder);
+}
+
 mem::GlobalAddress World::alloc(Rank home, std::uint32_t bytes, std::string name) {
   DSMR_REQUIRE(home >= 0 && home < config_.nprocs, "alloc: bad rank " << home);
   auto& segment = nodes_[static_cast<std::size_t>(home)]->segment;
   const mem::AreaId id = segment.allocate_area(bytes, std::move(name));
+  if (recorder_ != nullptr) {
+    recorder_->register_area(home, id, bytes, segment.area(id).name);
+  }
   return {home, segment.area(id).offset};
 }
 

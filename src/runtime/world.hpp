@@ -26,6 +26,14 @@ namespace dsmr::runtime {
 
 class Process;
 
+}  // namespace dsmr::runtime
+
+namespace dsmr::record {
+class Recorder;
+}  // namespace dsmr::record
+
+namespace dsmr::runtime {
+
 struct WorldConfig {
   int nprocs = 2;
   std::uint64_t seed = 1;
@@ -86,6 +94,14 @@ class World {
   /// is the area's start; the area is the unit of locking and detection.
   mem::GlobalAddress alloc(Rank home, std::uint32_t bytes, std::string name);
 
+  /// Attaches an ordering recorder (record/recorder.hpp) for this run.
+  /// Must be called before any alloc(): areas register with the recorder in
+  /// allocation order, and the NICs/processes then emit one event per
+  /// clock-affecting step. Recording requires the home-side wire layout
+  /// (kHomeSide transport, or mode off which always uses it).
+  void set_recorder(record::Recorder* recorder);
+  record::Recorder* recorder() { return recorder_; }
+
   /// Installs the program for `rank`.
   ///
   /// The body may be a capturing (coroutine) lambda: the World stores the
@@ -136,6 +152,7 @@ class World {
   };
 
   WorldConfig config_;
+  record::Recorder* recorder_ = nullptr;
   sim::Engine engine_;
   net::SimFabric fabric_;
   sim::Perturbator wakeup_perturb_;

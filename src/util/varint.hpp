@@ -1,0 +1,74 @@
+// LEB128 base-128 varints — the one shared integer wire encoding.
+//
+// Both the compact VectorClock wire format (clocks/vector_clock.hpp) and the
+// record/replay event log (record/log.hpp) encode unsigned integers as
+// little-endian base-128 varints: 7 value bits per byte, high bit set on
+// every byte but the last. Small values (the overwhelmingly common case for
+// clock components and event fields at debugging scale) take one byte.
+//
+// Two decode flavors:
+//  * get_varint       — panics (DSMR_REQUIRE) on truncation/overflow; for
+//                       in-memory buffers the program itself produced.
+//  * try_get_varint   — returns nullopt instead; for untrusted bytes read
+//                       off disk, where the caller owes the user a
+//                       structured diagnostic rather than a crash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dsmr::util {
+
+/// Size in bytes of the LEB128 encoding of `v`.
+constexpr std::size_t varint_size(std::uint64_t v) {
+  std::size_t bytes = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++bytes;
+  }
+  return bytes;
+}
+
+/// Appends the LEB128 encoding of `v` to `out`.
+inline void put_varint(std::vector<std::byte>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+/// Decodes one varint at `*pos`, advancing `*pos`. Returns nullopt if the
+/// buffer ends mid-varint or the value would overflow 64 bits (a u64 takes
+/// at most 10 bytes and the 10th — shift 63 — may only carry the low bit;
+/// anything else would silently drop high bits).
+inline std::optional<std::uint64_t> try_get_varint(std::span<const std::byte> in,
+                                                   std::size_t* pos) {
+  std::size_t p = *pos;
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (p >= in.size()) return std::nullopt;
+    const auto byte = static_cast<std::uint64_t>(in[p++]);
+    if (!(shift < 64 && (shift < 63 || (byte & 0x7f) <= 1))) return std::nullopt;
+    v |= (byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *pos = p;
+  return v;
+}
+
+/// Strict decode for trusted in-memory buffers: panics on malformed input.
+inline std::uint64_t get_varint(std::span<const std::byte> in, std::size_t* pos) {
+  const auto v = try_get_varint(in, pos);
+  DSMR_REQUIRE(v.has_value(), "varint decode ran past the buffer or overflowed 64 bits");
+  return *v;
+}
+
+}  // namespace dsmr::util

@@ -6,11 +6,13 @@
 // the coverage-guided seed scheduler.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,8 @@
 #include "fuzz/harness.hpp"
 #include "fuzz/program.hpp"
 #include "fuzz/shrink.hpp"
+#include "record/log.hpp"
+#include "record/replay.hpp"
 #include "runtime/world.hpp"
 #include "util/rng.hpp"
 
@@ -731,6 +735,74 @@ TEST(FuzzRepro, FaultPlansRoundTrip) {
   EXPECT_FALSE(net::parse_fault_plan("bogus").has_value());
 }
 
+TEST(FuzzRepro, V4CompanionLogReferenceRoundTrips) {
+  Repro repro = make_repro();
+  repro.record_log = "fuzz-s3-planted.dsmrlog";
+  const auto text = serialize_repro(repro);
+  EXPECT_NE(text.find("dsmr-fuzz-repro v4\n"), std::string::npos);
+  EXPECT_NE(text.find("record fuzz-s3-planted.dsmrlog\n"), std::string::npos);
+  std::string error;
+  const auto parsed = parse_repro(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->record_log, repro.record_log);
+  EXPECT_EQ(parsed->program, repro.program);
+  EXPECT_EQ(serialize_repro(*parsed), text);
+}
+
+TEST(FuzzRepro, V3ReprosWithoutRecordLineStillParse) {
+  // Old artifacts on disk keep working: same grammar, no `record` line.
+  const auto repro = make_repro();
+  std::string v3 = serialize_repro(repro);
+  const auto pos = v3.find("repro v4");
+  ASSERT_NE(pos, std::string::npos);
+  v3.replace(pos, 8, "repro v3");
+  const auto parsed = parse_repro(v3);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->record_log.empty());
+  EXPECT_EQ(parsed->program, repro.program);
+}
+
+TEST(FuzzRepro, ParserRejectsEscapingRecordReference) {
+  // The companion log is resolved relative to the .repro's directory; a
+  // reference with path separators could escape it.
+  Repro repro = make_repro();
+  repro.record_log = "log.dsmrlog";
+  std::string text = serialize_repro(repro);
+  const auto pos = text.find("record log.dsmrlog");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 18, "record ../log.dsmrlog");
+  std::string error;
+  EXPECT_FALSE(parse_repro(text, &error).has_value());
+  EXPECT_NE(error.find("basename"), std::string::npos) << error;
+}
+
+TEST(FuzzRepro, CompanionLogReRecordsByteIdentically) {
+  // The .repro + .dsmrlog pair contract: re-running the repro's coordinate
+  // in ANY process reproduces the stored log byte-for-byte.
+  Repro repro = make_repro();
+  repro.record_log = "companion.dsmrlog";
+  const auto bytes = record_coordinate(repro.program, repro.program_seed,
+                                       repro.schedule_seed, repro.perturb,
+                                       repro.fault);
+  EXPECT_EQ(check_repro_log(repro, bytes), "");
+
+  // Corruption surfaces the parser's structured diagnostic, not a byte diff.
+  auto corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= std::byte{0x20};
+  const auto diag = check_repro_log(repro, corrupt);
+  EXPECT_EQ(diag.rfind("[", 0), 0u) << diag;
+  EXPECT_FALSE(
+      check_repro_log(repro, std::span<const std::byte>(bytes.data(),
+                                                        bytes.size() / 2))
+          .empty());
+
+  // A log recorded at a different coordinate is not THIS repro's log.
+  Repro other = repro;
+  other.schedule_seed += 1;
+  const auto mismatch = check_repro_log(other, bytes);
+  EXPECT_NE(mismatch.find("[log-mismatch]"), std::string::npos) << mismatch;
+}
+
 // ---------------------------------------------------------------------------
 // Coverage signatures, corpus, and the seed scheduler
 // ---------------------------------------------------------------------------
@@ -843,6 +915,31 @@ TEST(FuzzSweep, CoverageSchedulingBeatsUniformAtEqualBudget) {
   for (const auto& outcome : uniform.outcomes) uniform_arms.insert(outcome.arm);
   for (const auto& outcome : coverage.outcomes) coverage_arms.insert(outcome.arm);
   EXPECT_GT(coverage_arms.size(), uniform_arms.size());
+}
+
+TEST(FuzzSweep, RecordDirCapturesAReplayableLogPerProgram) {
+  const std::string dir = scratch_dir("record-dir");
+  auto config = sweep_config(ScheduleMode::kUniform, 4);
+  config.record_dir = dir;
+  const auto result = run_fuzz_sweep(config);
+  EXPECT_EQ(result.recorded_logs, 4u);
+  std::size_t logs = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ASSERT_EQ(entry.path().extension(), ".dsmrlog");
+    std::string error;
+    const auto bytes = record::read_file(entry.path().string(), &error);
+    ASSERT_TRUE(bytes.has_value()) << error;
+    // Every captured log folds back to its embedded live verdicts, and is
+    // self-describing: the metadata carries its full replay coordinate.
+    EXPECT_EQ(record::check_record_replay_bytes(*bytes), "");
+    const auto log = record::Log::parse(*bytes, &error);
+    ASSERT_TRUE(log.has_value()) << error;
+    EXPECT_NE(log->find_metadata("program"), nullptr);
+    EXPECT_NE(log->find_metadata("schedule_seed"), nullptr);
+    ++logs;
+  }
+  EXPECT_EQ(logs, 4u);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(FuzzSweep, BudgetCallbackStopsTheSweep) {

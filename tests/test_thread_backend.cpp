@@ -129,6 +129,9 @@ TEST(ThreadBackendDiff, SweepSeedMappingMatchesUniformScheduleAndAggregates) {
   EXPECT_EQ(result.clean_programs + result.racy_programs + result.sometimes_programs,
             result.programs);
   EXPECT_EQ(result.thread_runs, 8u * 2u);
+  // Every program got the record→replay treatment: one recorded run folded
+  // offline plus two gate-forced replays, all matching the live verdicts.
+  EXPECT_EQ(result.record_replay_checks, 8u);
   EXPECT_GT(result.checks, 0u);
   EXPECT_GT(result.wall_ns, 0u);
   EXPECT_GT(result.checks_per_sec(), 0.0);

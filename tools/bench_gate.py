@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Bench regression gate: compare a fresh BENCH_overhead.json against the
+"""Bench regression gate: compare fresh BENCH_*.json output against the
 checked-in bench/baseline.json.
 
-Two classes of metric, treated differently:
+Three classes of metric, treated differently:
 
 * wall-clock (``detector_check_ordered``) — the epoch fast-path kernel
   cost, the headline perf claim. Absolute ns/op depends on the machine, so
@@ -10,23 +10,32 @@ Two classes of metric, treated differently:
   measured in the same run (machine speed cancels) and fails when the mean
   speedup across clock widths drops more than the threshold (default 25%)
   below the baseline's.
+* recording overhead (``record_op_wall``) — same machine-cancelling trick:
+  the gated quantity is the ratio of the recorded config's ns/op to the
+  matching unrecorded config's ns/op from the same run. Fails when the
+  fresh record/off ratio exceeds the baseline ratio by more than
+  --record-threshold (default 50% — threaded wall clock is noisy).
 * virtual-time / wire metrics (entries named ``*_virtual`` and every
   ``bytes_per_op``) — pure simulator outputs, deterministic per seed, so
   ANY drift is a semantic change (protocol message count, clock wire
-  format) and fails exactly. Refresh the baseline when the change is
-  intentional.
+  format, event-log encoding) and fails exactly. Refresh the baseline when
+  the change is intentional.
+
+Both commands accept several JSON files (one per bench binary); their
+entries are merged before comparing or refreshing.
 
 Usage:
-  tools/bench_gate.py compare build/BENCH_overhead.json [--baseline bench/baseline.json]
-                              [--threshold 0.25]
-  tools/bench_gate.py refresh build/BENCH_overhead.json [--baseline bench/baseline.json]
+  tools/bench_gate.py compare build/BENCH_overhead.json build/BENCH_record_overhead.json
+                              [--baseline bench/baseline.json] [--threshold 0.25]
+                              [--record-threshold 0.5]
+  tools/bench_gate.py refresh build/BENCH_overhead.json build/BENCH_record_overhead.json
+                              [--baseline bench/baseline.json]
 
 Exit status: 0 pass, 1 regression, 2 usage/IO error.
 """
 
 import argparse
 import json
-import shutil
 import sys
 
 
@@ -47,6 +56,18 @@ def load(path):
     return {entry_key(e): e for e in data["entries"]}
 
 
+def load_merged(paths):
+    merged = {}
+    for path in paths:
+        for key, entry in load(path).items():
+            if key in merged:
+                print(f"bench_gate: duplicate entry {key[0]} {dict(key[1])} "
+                      f"in {path}", file=sys.stderr)
+                sys.exit(2)
+            merged[key] = entry
+    return merged
+
+
 def is_deterministic_virtual(key):
     name, _ = key
     return name.endswith("_virtual")
@@ -65,8 +86,20 @@ def epoch_speedups(entries):
             if "oracle" in paths and "epoch" in paths and paths["epoch"] > 0}
 
 
+def record_ratios(entries):
+    """Recorded ns/op ÷ unrecorded ns/op, per base config, from the same run."""
+    by_config = {}
+    for (name, params), entry in entries.items():
+        if name != "record_op_wall":
+            continue
+        by_config[dict(params)["config"]] = entry["ns_per_op"]
+    return {base: by_config[f"{base}+record"] / by_config[base]
+            for base in ("off", "dual-clock")
+            if by_config.get(base, 0) > 0 and f"{base}+record" in by_config}
+
+
 def compare(args):
-    fresh = load(args.json)
+    fresh = load_merged(args.json)
     baseline = load(args.baseline)
     failures = []
 
@@ -111,6 +144,24 @@ def compare(args):
                 f"epoch fast path regressed: mean speedup x{fresh_mean:.1f} "
                 f"fell below x{floor:.1f} (-{args.threshold:.0%} of baseline)")
 
+    base_ratios = record_ratios(baseline)
+    fresh_ratios = record_ratios(fresh)
+    if base_ratios:
+        shared = sorted(set(base_ratios) & set(fresh_ratios))
+        if not shared:
+            failures.append("baseline has record_op_wall entries but no "
+                            "record/plain ratio pairs found in fresh output")
+        for config in shared:
+            ceiling = base_ratios[config] * (1.0 + args.record_threshold)
+            print(f"recording overhead on {config}: baseline "
+                  f"x{base_ratios[config]:.2f}, now x{fresh_ratios[config]:.2f} "
+                  f"(ceiling x{ceiling:.2f})")
+            if fresh_ratios[config] > ceiling:
+                failures.append(
+                    f"recording overhead regressed on {config}: "
+                    f"x{fresh_ratios[config]:.2f} exceeds x{ceiling:.2f} "
+                    f"(+{args.record_threshold:.0%} of baseline)")
+
     for failure in failures:
         print(f"BENCH GATE FAILURE: {failure}", file=sys.stderr)
     if failures:
@@ -121,23 +172,32 @@ def compare(args):
 
 
 def refresh(args):
-    load(args.json)  # validate before overwriting the baseline.
+    merged = load_merged(args.json)  # validate before overwriting the baseline.
+    data = {"bench": "baseline",
+            "entries": [merged[key] for key in sorted(merged)]}
     try:
-        shutil.copyfile(args.json, args.baseline)
+        with open(args.baseline, "w") as f:
+            json.dump(data, f, indent=1)
+            f.write("\n")
     except OSError as err:
         print(f"bench_gate: cannot write {args.baseline}: {err}", file=sys.stderr)
         sys.exit(2)
-    print(f"bench_gate: baseline refreshed from {args.json} -> {args.baseline}")
+    print(f"bench_gate: baseline refreshed from {' '.join(args.json)} "
+          f"-> {args.baseline}")
     return 0
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("command", choices=["compare", "refresh"])
-    parser.add_argument("json", help="fresh BENCH_overhead.json to evaluate")
+    parser.add_argument("json", nargs="+",
+                        help="fresh BENCH_*.json file(s) to evaluate, merged")
     parser.add_argument("--baseline", default="bench/baseline.json")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional regression of the epoch fast path")
+    parser.add_argument("--record-threshold", type=float, default=0.5,
+                        help="allowed fractional growth of the record/plain "
+                             "wall-clock ratio")
     args = parser.parse_args()
     sys.exit(compare(args) if args.command == "compare" else refresh(args))
 

@@ -28,7 +28,8 @@
 //             [--schedule uniform|coverage] [--corpus-dir DIR]
 //             [--schedule-seeds K] [--perturbations K] [--perturb-min NS]
 //             [--perturb-max NS] [--threads N] [--budget-ms MS]
-//             [--json FILE] [--repro-dir DIR] [--no-shrink] [--fault PLAN]
+//             [--json FILE] [--repro-dir DIR] [--record-dir DIR]
+//             [--no-shrink] [--fault PLAN]
 //             [--faults PLAN;PLAN;...] [--verbose]
 //   dsmr_fuzz --replay FILE [--threads N]
 //   dsmr_fuzz --backend threaded|both [--thread-reps N] [--sim-seeds N]
@@ -57,9 +58,11 @@
 // stuck-task dump and exit 1 unless expected (unrecoverable plans).
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -97,6 +100,30 @@ int run_replay(const std::string& path, int threads) {
   if (fuzz::serialize_repro(*repro) != buffer.str()) {
     std::fprintf(stderr, "repro %s does not round-trip byte-identically\n", path.c_str());
     return 1;
+  }
+  // v4: a companion ordering log must re-record byte-identically from the
+  // repro's coordinate — cross-process, cross-machine.
+  if (!repro->record_log.empty()) {
+    const auto log_path =
+        std::filesystem::path(path).parent_path() / repro->record_log;
+    std::ifstream log_in(log_path, std::ios::binary);
+    if (!log_in) {
+      std::fprintf(stderr, "cannot read companion log %s\n", log_path.c_str());
+      return 2;
+    }
+    std::ostringstream log_buffer;
+    log_buffer << log_in.rdbuf();
+    const std::string raw = log_buffer.str();
+    const auto* data = reinterpret_cast<const std::byte*>(raw.data());
+    const std::string mismatch = fuzz::check_repro_log(
+        *repro, std::span<const std::byte>(data, raw.size()));
+    if (!mismatch.empty()) {
+      std::printf("companion log %s: %s\nLOG DIVERGED\n", log_path.c_str(),
+                  mismatch.c_str());
+      return 1;
+    }
+    std::printf("companion log %s: %zu bytes, re-recorded byte-identically\n",
+                log_path.c_str(), raw.size());
   }
   const auto fired = fuzz::replay_repro(*repro, threads);
   std::printf("replay of %s: program_seed=%llu schedule_seed=%llu perturb=%s fault=%s "
@@ -169,7 +196,8 @@ int main(int argc, char** argv) {
                 "[--schedule uniform|coverage] [--corpus-dir DIR] [--schedule-seeds K] "
                 "[--perturbations K] [--perturb-min NS] [--perturb-max NS] "
                 "[--threads N] [--budget-ms MS] [--json FILE] [--repro-dir DIR] "
-                "[--no-shrink] [--fault PLAN] [--faults PLAN;PLAN;...] "
+                "[--record-dir DIR] [--no-shrink] [--fault PLAN] "
+                "[--faults PLAN;PLAN;...] "
                 "[--backend sim|threaded|both] [--thread-reps N] [--sim-seeds N] "
                 "[--stripes N] [--thread-timeout-ms MS] [--verbose] | "
                 "--replay FILE");
@@ -236,6 +264,7 @@ int main(int argc, char** argv) {
   const auto budget_ms = cli.get_int("budget-ms", 0);
   const std::string json_path = cli.get_string("json", "");
   const std::string repro_dir = cli.get_string("repro-dir", "");
+  const std::string record_dir = cli.get_string("record-dir", "");
   const bool no_shrink = cli.get_flag("no-shrink");
   // --fault takes one plan (back-compatible with the old none|drop-live-
   // reports modes via the plan parser's aliases); --faults a ';'-list.
@@ -377,6 +406,7 @@ int main(int argc, char** argv) {
   sweep.threads = threads;
   sweep.verbose = verbose;
   sweep.corpus_dir = corpus_dir;
+  sweep.record_dir = record_dir;
   sweep.check.schedule_seeds = schedule_seeds;
   // Parallelism lives on the *program* axis (the independent one); each
   // program's own grid runs serially on its worker.
@@ -492,8 +522,26 @@ int main(int argc, char** argv) {
 
     if (!repro_dir.empty()) {
       std::filesystem::create_directories(repro_dir);
-      record.repro_path = repro_dir + "/fuzz-s" + std::to_string(outcome.program_seed) +
-                          "-" + record.check + ".repro";
+      const std::string stem =
+          "fuzz-s" + std::to_string(outcome.program_seed) + "-" + record.check;
+      // With --record-dir on, pair the repro with the ordering log of its
+      // exact (shrunk program, seed, perturbation, fault) coordinate; the
+      // pair replays byte-identically cross-process (`--replay` verifies).
+      if (!record_dir.empty()) {
+        const auto bytes =
+            fuzz::record_coordinate(repro.program, repro.program_seed,
+                                    repro.schedule_seed, repro.perturb, repro.fault);
+        repro.record_log = stem + ".dsmrlog";
+        const std::string log_path = repro_dir + "/" + repro.record_log;
+        std::ofstream log_out(log_path, std::ios::binary);
+        log_out.write(reinterpret_cast<const char*>(bytes.data()),
+                      static_cast<std::streamsize>(bytes.size()));
+        if (!log_out.good()) {
+          std::fprintf(stderr, "cannot write recorded log %s\n", log_path.c_str());
+          return 2;
+        }
+      }
+      record.repro_path = repro_dir + "/" + stem + ".repro";
       std::ofstream out(record.repro_path);
       out << fuzz::serialize_repro(repro);
       if (!out.good()) {
@@ -518,6 +566,11 @@ int main(int argc, char** argv) {
     failures.push_back(std::move(record));
   }
 
+  if (!record_dir.empty()) {
+    std::printf("recorded %llu ordering log(s) under %s\n",
+                static_cast<unsigned long long>(result.recorded_logs),
+                record_dir.c_str());
+  }
   util::Table table({"programs", "planted", "clean", "schedules", "fault-runs",
                      "watchdog", "signatures", "failures", "ms"});
   table.add_row({util::Table::fmt_int(result.programs),

@@ -1,0 +1,241 @@
+// dsmr_replay: the offline half of record/replay (ROADMAP item 3).
+//
+// Takes a recorded ordering log (record/log.hpp) and, entirely offline:
+//
+//  * verifies integrity and prints the structured diagnostic on corrupt,
+//    truncated or version-mismatched input (exit 2 — the log is disk input,
+//    never trusted);
+//  * folds the event stream through the full detector (`replay_fold`) and
+//    prints the re-derived verdicts — by default at the recorded mode, or at
+//    a stronger one via --mode (the production story: record at `off`, fold
+//    at `dual`);
+//  * checks the fold against the embedded live-verdict footer
+//    (`check_record_replay`) and exits 1 on divergence;
+//  * renders a traffic ledger (events and payload bytes per event kind) and,
+//    on request, a JSONL event dump and a chrome://tracing view of the
+//    recorded total order.
+//
+//   dsmr_replay --log FILE [--mode header|off|single|dual] [--json FILE]
+//               [--trace-jsonl FILE] [--trace-chrome FILE] [--quiet]
+//
+// Exit status: 0 verdicts reproduced, 1 fold diverges from the footer,
+// 2 unreadable/corrupt log or usage error.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "record/log.hpp"
+#include "record/replay.hpp"
+#include "trace/trace.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+using namespace dsmr;
+
+namespace {
+
+/// Payload bytes an event carries (the `c` field of data-moving kinds).
+std::uint64_t payload_bytes(const record::Event& event) {
+  switch (event.kind) {
+    case record::EventKind::kPutApply:
+    case record::EventKind::kGetApply:
+    case record::EventKind::kThreadPut:
+    case record::EventKind::kThreadGet:
+      return event.c;
+    default:
+      return 0;
+  }
+}
+
+void write_trace_jsonl(std::ofstream& out, const record::Log& log) {
+  std::size_t index = 0;
+  for (const auto& event : log.events) {
+    out << "{\"i\":" << index++ << ",\"kind\":\""
+        << record::to_string(event.kind) << "\",\"a\":" << event.a
+        << ",\"b\":" << event.b << ",\"c\":" << event.c << ",\"d\":" << event.d
+        << "}\n";
+  }
+}
+
+/// One instant event per log entry, one chrome://tracing track per rank, in
+/// recorded total order (timestamps are the event index — the log carries
+/// ordering, not wall time).
+void write_trace_chrome(std::ofstream& out, const record::Log& log) {
+  out << "[";
+  std::size_t index = 0;
+  for (const auto& event : log.events) {
+    if (index > 0) out << ",\n ";
+    std::string name = record::to_string(event.kind);
+    if (event.b < log.areas.size() &&
+        event.kind != record::EventKind::kSignal &&
+        event.kind != record::EventKind::kWaitMatch &&
+        event.kind != record::EventKind::kTick) {
+      name += " " + log.areas[event.b].name;
+    }
+    out << "{\"name\":\"" << trace::json_escape(name)
+        << "\",\"ph\":\"X\",\"ts\":" << index << ",\"dur\":1,\"pid\":0,\"tid\":"
+        << event.a << ",\"args\":{\"b\":" << event.b << ",\"c\":" << event.c
+        << ",\"d\":" << event.d << "}}";
+    ++index;
+  }
+  out << "]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv,
+                "--log FILE [--mode header|off|single|dual] [--json FILE] "
+                "[--trace-jsonl FILE] [--trace-chrome FILE] [--quiet]");
+  const std::string path = cli.get_string("log", "");
+  const std::string mode_text = cli.get_string("mode", "header");
+  const std::string json_path = cli.get_string("json", "");
+  const std::string jsonl_path = cli.get_string("trace-jsonl", "");
+  const std::string chrome_path = cli.get_string("trace-chrome", "");
+  const bool quiet = cli.get_flag("quiet");
+  cli.finish();
+  if (path.empty()) {
+    std::fprintf(stderr, "dsmr_replay needs --log FILE\n");
+    return 2;
+  }
+
+  std::string error;
+  const auto bytes = record::read_file(path, &error);
+  if (!bytes) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  const auto log = record::Log::parse(*bytes, &error);
+  if (!log) {
+    // The structured diagnostic ([truncated], [bad-magic], [bad-version],
+    // [checksum-mismatch], ...) is the contract for corrupt input.
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+
+  core::DetectorMode fold_mode = log->header.mode;
+  if (mode_text == "off") {
+    fold_mode = core::DetectorMode::kOff;
+  } else if (mode_text == "single") {
+    fold_mode = core::DetectorMode::kSingleClock;
+  } else if (mode_text == "dual") {
+    fold_mode = core::DetectorMode::kDualClock;
+  } else if (mode_text != "header") {
+    std::fprintf(stderr, "unknown --mode %s (header|off|single|dual)\n",
+                 mode_text.c_str());
+    return 2;
+  }
+
+  std::printf("--- dsmr_replay: %s ---\n", path.c_str());
+  std::printf("recorded: backend=%s nprocs=%u mode=%s handoff=%d ack=%d, "
+              "%zu area(s), %zu event(s)\n",
+              record::to_string(log->header.backend).c_str(),
+              log->header.nprocs, core::to_string(log->header.mode),
+              log->header.lock_clock_handoff ? 1 : 0,
+              log->header.acked_puts ? 1 : 0, log->areas.size(),
+              log->events.size());
+  for (const auto& [key, value] : log->metadata) {
+    if (quiet) break;
+    // Multi-line values (program text) indent under their key.
+    if (value.find('\n') == std::string::npos) {
+      std::printf("meta %s: %s\n", key.c_str(), value.c_str());
+    } else {
+      std::printf("meta %s: (%zu bytes)\n", key.c_str(), value.size());
+    }
+  }
+
+  // Traffic ledger: the wire-equivalent cost of the recorded run, straight
+  // from the ordering stream.
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> ledger;
+  std::uint64_t total_bytes = 0;
+  for (const auto& event : log->events) {
+    auto& [count, event_bytes] = ledger[record::to_string(event.kind)];
+    ++count;
+    event_bytes += payload_bytes(event);
+    total_bytes += payload_bytes(event);
+  }
+  util::Table table({"kind", "events", "payload-bytes"});
+  for (const auto& [kind, stats] : ledger) {
+    table.add_row({kind, util::Table::fmt_int(stats.first),
+                   util::Table::fmt_int(stats.second)});
+  }
+  table.add_row({"total", util::Table::fmt_int(log->events.size()),
+                 util::Table::fmt_int(total_bytes)});
+  std::printf("%s", table.render().c_str());
+
+  // The fold: re-derive verdicts offline at the selected detector mode.
+  const record::ReplayResult folded = record::replay_fold(*log, fold_mode);
+  if (!folded.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), folded.error.c_str());
+    return 2;
+  }
+  std::printf("fold at mode=%s: %llu event(s), %llu check(s), %zu race "
+              "report(s)\n",
+              core::to_string(fold_mode),
+              static_cast<unsigned long long>(folded.events),
+              static_cast<unsigned long long>(folded.checks),
+              folded.reports.size());
+  if (!quiet) {
+    for (const auto& race : folded.signature.races) {
+      std::printf("race: area %s rank=%d %s x%llu\n",
+                  race.area < log->areas.size()
+                      ? log->areas[race.area].name.c_str()
+                      : std::to_string(race.area).c_str(),
+                  race.accessor, core::to_string(race.kind),
+                  static_cast<unsigned long long>(race.count));
+    }
+  }
+  std::printf("verdict: %s\n", folded.signature.to_string().c_str());
+  std::printf("footer:  %s\n", log->live.to_string().c_str());
+
+  if (!jsonl_path.empty()) {
+    std::ofstream out(jsonl_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write --trace-jsonl %s\n", jsonl_path.c_str());
+      return 2;
+    }
+    write_trace_jsonl(out, *log);
+    std::printf("wrote %s\n", jsonl_path.c_str());
+  }
+  if (!chrome_path.empty()) {
+    std::ofstream out(chrome_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write --trace-chrome %s\n", chrome_path.c_str());
+      return 2;
+    }
+    write_trace_chrome(out, *log);
+    std::printf("wrote %s\n", chrome_path.c_str());
+  }
+
+  // The divergence gate: fold at the RECORDED mode must reproduce the
+  // embedded live footer bit-for-bit, whatever --mode was used for display.
+  const std::string divergence = record::check_record_replay(*log);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write --json %s\n", json_path.c_str());
+      return 2;
+    }
+    out << "{\"tool\":\"dsmr_replay\",\"log\":\"" << trace::json_escape(path)
+        << "\",\"backend\":\"" << record::to_string(log->header.backend)
+        << "\",\"nprocs\":" << log->header.nprocs << ",\"recorded_mode\":\""
+        << core::to_string(log->header.mode) << "\",\"fold_mode\":\""
+        << core::to_string(fold_mode) << "\",\"events\":" << log->events.size()
+        << ",\"checks\":" << folded.checks
+        << ",\"payload_bytes\":" << total_bytes
+        << ",\"races\":" << folded.signature.races.size()
+        << ",\"completed\":" << (log->live.completed ? "true" : "false")
+        << ",\"diverged\":" << (divergence.empty() ? "false" : "true") << "}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!divergence.empty()) {
+    std::printf("DIVERGENCE: %s\n", divergence.c_str());
+    return 1;
+  }
+  std::printf("replay reproduces the recorded verdicts\n");
+  return 0;
+}
