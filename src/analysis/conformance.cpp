@@ -365,6 +365,7 @@ std::string Divergence::describe() const {
   out << " — " << check;
   if (!detail.empty()) out << " (" << detail << ")";
   if (!trace_jsonl.empty()) out << " [trace: " << trace_jsonl << "]";
+  if (!witness.empty()) out << " [witness: " << witness << "]";
   return out.str();
 }
 

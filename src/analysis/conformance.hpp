@@ -130,6 +130,9 @@ struct Divergence {
   std::string detail;
   std::string trace_jsonl;  ///< exported trace paths ("" when export off).
   std::string trace_chrome;
+  /// Replayable witness log path, for exhaustive-exploration failures whose
+  /// racy interleaving was exported ("" otherwise).
+  std::string witness;
 
   std::string describe() const;
 };

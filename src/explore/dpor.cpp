@@ -1,0 +1,368 @@
+#include "explore/dpor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace dsmr::explore {
+
+namespace {
+
+using HbClock = std::vector<std::uint64_t>;
+
+/// One frame of the DFS path. Persistent across re-executions: the
+/// explorer is stateless in the model-checking sense (it re-runs the
+/// prefix from scratch after every backtrack), but the search frames — who
+/// was enabled, which choices are done, which are asleep, where DPOR wants
+/// to backtrack — live here.
+struct Node {
+  std::vector<Rank> enabled;  ///< at node creation, ascending.
+  std::set<Rank> sleep;       ///< inherited-filtered + completed choices.
+  std::set<Rank> backtrack;   ///< DPOR backtrack set (subset of enabled).
+  std::set<Rank> done;        ///< choices whose subtree is explored.
+  Rank chosen = kInvalidRank; ///< the choice the current path takes.
+  ExecutedStep exec;          ///< `chosen`'s executed transition.
+  HbClock clock;              ///< exec's HB clock over dependent().
+};
+
+class Explorer {
+ public:
+  Explorer(const fuzz::Program& program, const ExploreOptions& options)
+      : program_(program),
+        options_(options),
+        flat_(flatten_program(program)),
+        executor_(&flat_),
+        planted_(planted_area_name(program)) {}
+
+  ExploreReport run() {
+    while (true) {
+      if (budget_tripped()) break;
+      descend();
+      if (!backtrack()) {
+        report_.complete = report_.limit.empty();
+        break;
+      }
+    }
+    return std::move(report_);
+  }
+
+ private:
+  bool budget_tripped() {
+    if (report_.interleavings + report_.sleep_blocked >=
+        options_.max_interleavings) {
+      report_.limit = "max-interleavings";
+      return true;
+    }
+    if (options_.max_transitions != 0 &&
+        report_.transitions >= options_.max_transitions) {
+      report_.limit = "max-transitions";
+      return true;
+    }
+    return false;
+  }
+
+  /// Re-executes the stored prefix (the last node under its — possibly
+  /// new — choice), then extends the path with smallest-first choices
+  /// until the run is maximal or sleep-blocked.
+  void descend() {
+    executor_.reset();
+    const auto n = static_cast<std::size_t>(flat_.nprocs);
+    cv_.assign(n, HbClock(n, 0));
+    std::set<Rank> next_sleep;
+    for (std::size_t depth = 0; depth < nodes_.size(); ++depth) {
+      Node& node = nodes_[depth];
+      const bool fresh = depth + 1 == nodes_.size() && node.clock.empty();
+      if (fresh) {
+        next_sleep = execute_choice(node, depth);
+      } else {
+        // Unchanged prefix: replay the stored transition; its clock and
+        // backtrack contributions were computed when it was first taken.
+        executor_.execute(node.chosen);
+        ++report_.transitions;
+        cv_[static_cast<std::size_t>(node.exec.rank)] = node.clock;
+        // next_sleep of an interior node is only needed at the frontier;
+        // the children frames already exist.
+      }
+    }
+    // Extend to a maximal run.
+    while (true) {
+      std::vector<Rank> enabled = executor_.enabled();
+      if (enabled.empty()) {
+        record_terminal();
+        return;
+      }
+      Rank pick = kInvalidRank;
+      for (const Rank r : enabled) {
+        if (next_sleep.count(r) == 0) {
+          pick = r;
+          break;
+        }
+      }
+      if (pick == kInvalidRank) {
+        // Every enabled transition sleeps: this prefix is covered by
+        // already-explored sibling orders.
+        ++report_.sleep_blocked;
+        return;
+      }
+      Node node;
+      node.enabled = std::move(enabled);
+      node.sleep = std::move(next_sleep);
+      node.chosen = pick;
+      node.done.insert(pick);
+      if (options_.dpor) {
+        node.backtrack.insert(pick);
+      } else {
+        node.backtrack.insert(node.enabled.begin(), node.enabled.end());
+      }
+      nodes_.push_back(std::move(node));
+      next_sleep = execute_choice(nodes_.back(), nodes_.size() - 1);
+    }
+  }
+
+  /// Executes node.chosen, computes its HB clock, applies the DPOR
+  /// backtrack rule against the prefix, and returns the child's sleep set.
+  std::set<Rank> execute_choice(Node& node, std::size_t depth) {
+    // Pending transitions of sleeping ranks, peeked BEFORE the choice
+    // executes: the child keeps exactly the sleepers that commute with it.
+    std::vector<std::pair<Rank, ExecutedStep>> sleepers;
+    if (options_.sleep_sets) {
+      sleepers.reserve(node.sleep.size());
+      for (const Rank r : node.sleep) {
+        sleepers.emplace_back(r, executor_.peek_executed(r));
+      }
+    }
+    node.exec = executor_.execute(node.chosen);
+    ++report_.transitions;
+
+    const auto p = static_cast<std::size_t>(node.exec.rank);
+    const HbClock pre = cv_[p];
+    HbClock clock = pre;
+    for (std::size_t j = 0; j < depth; ++j) {
+      const Node& prior = nodes_[j];
+      if (!dependent(prior.exec, node.exec, flat_.nprocs,
+                     options_.independence)) {
+        continue;
+      }
+      const auto q = static_cast<std::size_t>(prior.exec.rank);
+      if (options_.dpor && q != p && prior.clock[q] > pre[q]) {
+        add_backtrack(j, node.exec.rank, pre);
+      }
+      for (std::size_t i = 0; i < clock.size(); ++i) {
+        clock[i] = std::max(clock[i], prior.clock[i]);
+      }
+    }
+    ++clock[p];
+    node.clock = clock;
+    cv_[p] = std::move(clock);
+
+    std::set<Rank> child_sleep;
+    for (const auto& [r, pending] : sleepers) {
+      if (!dependent(pending, node.exec, flat_.nprocs, options_.independence)) {
+        child_sleep.insert(r);
+      }
+    }
+    return child_sleep;
+  }
+
+  /// The DPOR rule: transition `p` (about to extend the path) is dependent
+  /// with and concurrent to nodes_[j]'s transition, so some transition of
+  /// `p`'s branch must also be tried at j. Prefer a rank whose transition
+  /// at j happens-before p's branch (p itself qualifies); if none is
+  /// enabled at j, conservatively backtrack into everything enabled there.
+  void add_backtrack(std::size_t j, Rank p, const HbClock& pre) {
+    Node& target = nodes_[j];
+    std::set<Rank> candidates;
+    for (const Rank q : target.enabled) {
+      if (q == p) {
+        candidates.insert(q);
+        continue;
+      }
+      for (std::size_t m = j + 1; m < nodes_.size(); ++m) {
+        const auto qi = static_cast<std::size_t>(q);
+        if (nodes_[m].exec.rank == q && nodes_[m].clock[qi] <= pre[qi]) {
+          candidates.insert(q);
+          break;
+        }
+      }
+    }
+    if (!candidates.empty()) {
+      target.backtrack.insert(*candidates.begin());
+    } else {
+      target.backtrack.insert(target.enabled.begin(), target.enabled.end());
+    }
+  }
+
+  /// Folds the maximal run into the report (and a witness, when racy and
+  /// its signature is new).
+  void record_terminal() {
+    const bool completed = executor_.all_done();
+    const std::vector<Rank> stuck = executor_.unfinished();
+    record::Log log = make_witness_log(flat_, executor_.events(),
+                                       options_.mode, completed, stuck);
+    ++report_.interleavings;
+    if (!completed) ++report_.deadlocks;
+    const bool racy = !log.live.races.empty();
+    const bool fresh_signature =
+        report_.signatures.insert(log.live.to_string()).second;
+    if (!racy) return;
+    ++report_.racy_interleavings;
+    bool planted_hit = false;
+    for (const record::RaceCount& race : log.live.races) {
+      const std::string& name = log.areas[race.area].name;
+      report_.racy_areas.insert(name);
+      planted_hit = planted_hit || name == planted_;
+    }
+    if (planted_hit && !planted_.empty()) ++report_.planted_flagged;
+    if (fresh_signature && report_.witnesses.size() < options_.max_witnesses) {
+      log.metadata.emplace_back("tool", "dsmr_explore --exhaustive");
+      log.metadata.emplace_back("program", fuzz::serialize(program_));
+      log.metadata.emplace_back("schedule", schedule_string());
+      log.metadata.emplace_back("interleaving",
+                                std::to_string(report_.interleavings - 1));
+      report_.witnesses.push_back(std::move(log));
+    }
+  }
+
+  std::string schedule_string() const {
+    std::string out;
+    for (const Node& node : nodes_) {
+      if (!out.empty()) out += ",";
+      out += std::to_string(node.exec.rank);
+    }
+    return out;
+  }
+
+  /// Pops exhausted frames, moving each completed choice into the sleep
+  /// set, until a frame has an unexplored backtrack choice. Returns false
+  /// when the whole tree is exhausted.
+  bool backtrack() {
+    while (!nodes_.empty()) {
+      Node& node = nodes_.back();
+      node.sleep.insert(node.chosen);
+      Rank next = kInvalidRank;
+      for (const Rank r : node.backtrack) {
+        if (node.done.count(r) != 0) continue;
+        if (options_.sleep_sets && node.sleep.count(r) != 0) continue;
+        next = r;
+        break;
+      }
+      if (next != kInvalidRank) {
+        node.chosen = next;
+        node.done.insert(next);
+        node.exec = ExecutedStep{};
+        node.clock.clear();  // marks the frame fresh for descend().
+        return true;
+      }
+      report_.pruned_branches +=
+          node.enabled.size() - std::min(node.enabled.size(), node.done.size());
+      nodes_.pop_back();
+    }
+    return false;
+  }
+
+  const fuzz::Program& program_;
+  const ExploreOptions& options_;
+  FlatProgram flat_;
+  Executor executor_;
+  std::string planted_;
+  std::vector<Node> nodes_;
+  std::vector<HbClock> cv_;  ///< per rank: clock of its last transition.
+  ExploreReport report_;
+};
+
+}  // namespace
+
+ExploreReport explore_program(const fuzz::Program& program,
+                              const ExploreOptions& options) {
+  return Explorer(program, options).run();
+}
+
+std::string planted_area_name(const fuzz::Program& program) {
+  if (program.expect == fuzz::Expectation::kClean || !program.planted) return "";
+  return "fz" + std::to_string(program.planted->area);
+}
+
+Eligibility exhaustive_eligible(const fuzz::Program& program, int max_ranks,
+                                std::size_t max_ops_per_rank) {
+  Eligibility out;
+  if (program.nprocs > max_ranks) {
+    out.reason = "program has " + std::to_string(program.nprocs) +
+                 " ranks, exhaustive cap is " + std::to_string(max_ranks);
+    return out;
+  }
+  for (int r = 0; r < program.nprocs; ++r) {
+    // Sleeps and computes flatten to kTick, which is independent of every
+    // other transition — sleep sets collapse their orderings, so they do
+    // not grow the reduced space and do not count against the gate.
+    std::size_t ops = 0;
+    for (const fuzz::Phase& phase : program.phases) {
+      for (const fuzz::Op& op : phase.ops[static_cast<std::size_t>(r)]) {
+        if (op.kind != fuzz::OpKind::kSleep && op.kind != fuzz::OpKind::kCompute) {
+          ++ops;
+        }
+      }
+    }
+    if (ops > max_ops_per_rank) {
+      out.reason = "rank " + std::to_string(r) + " has " +
+                   std::to_string(ops) + " non-tick ops, exhaustive cap is " +
+                   std::to_string(max_ops_per_rank);
+      return out;
+    }
+  }
+  out.eligible = true;
+  return out;
+}
+
+std::vector<std::string> check_exhaustive(const fuzz::Program& program,
+                                          const ExploreReport& report) {
+  std::vector<std::string> failures;
+  const std::string total = std::to_string(report.interleavings);
+  if (!report.limit.empty()) {
+    failures.push_back("explore-limit: budget " + report.limit +
+                       " tripped after " + total +
+                       " interleavings; exploration is not a certificate");
+    return failures;
+  }
+  if (report.deadlocks != 0) {
+    failures.push_back("exhaustive-deadlock: " +
+                       std::to_string(report.deadlocks) + " of " + total +
+                       " interleavings did not complete");
+  }
+  const std::string planted = planted_area_name(program);
+  switch (program.expect) {
+    case fuzz::Expectation::kClean:
+      if (report.racy_interleavings != 0) {
+        std::string areas;
+        for (const std::string& name : report.racy_areas) {
+          if (!areas.empty()) areas += ",";
+          areas += name;
+        }
+        failures.push_back("exhaustive-clean-race: " + areas + " raced in " +
+                           std::to_string(report.racy_interleavings) + " of " +
+                           total + " interleavings of a clean program");
+      }
+      break;
+    case fuzz::Expectation::kRacy:
+      if (report.planted_flagged != report.interleavings) {
+        failures.push_back("exhaustive-racy-missed: planted " + planted +
+                           " flagged in only " +
+                           std::to_string(report.planted_flagged) + " of " +
+                           total + " interleavings");
+      }
+      break;
+    case fuzz::Expectation::kSometimes:
+      if (report.planted_flagged == 0) {
+        const std::string kind =
+            program.planted ? fuzz::to_string(program.planted->kind) : "?";
+        failures.push_back("exhaustive-bug-missed: planted " + planted + " (" +
+                           kind + ") never flagged across " + total +
+                           " interleavings");
+      }
+      break;
+  }
+  return failures;
+}
+
+}  // namespace dsmr::explore

@@ -1,0 +1,97 @@
+// Deterministic schedule executor for exploration: runs a FlatProgram one
+// chosen transition at a time and synthesizes the record::Log event stream
+// the threaded backend would have recorded under that interleaving.
+//
+// The executor holds ONLY scheduling state — per-rank step cursors,
+// per-rank event counts (each log event ticks the folding clock exactly
+// once, so a rank's clock component IS its event count), and FIFO signal
+// mailboxes per (destination, tag). It never touches detector state: at
+// the end of a run the caller folds the synthesized log through
+// record::replay_fold, the single source of truth for verdicts. That keeps
+// the explorer and the detector impossible to diverge by construction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/rules.hpp"
+#include "explore/model.hpp"
+#include "record/log.hpp"
+
+namespace dsmr::explore {
+
+class Executor {
+ public:
+  explicit Executor(const FlatProgram* program);
+
+  void reset();
+
+  int nprocs() const { return program_->nprocs; }
+  bool rank_done(Rank rank) const;
+  bool all_done() const;
+
+  /// The next (not yet executed) step of `rank`; nullptr when done.
+  const Step* next_step(Rank rank) const;
+
+  /// True when `rank` has a next step that can execute now (a wait needs a
+  /// queued matching signal).
+  bool step_enabled(Rank rank) const;
+
+  /// All enabled ranks, ascending.
+  std::vector<Rank> enabled() const;
+
+  /// Ranks with unexecuted steps (enabled or blocked), ascending.
+  std::vector<Rank> unfinished() const;
+
+  /// Executes `rank`'s next step (must be enabled), appending its log
+  /// events and returning the executed-transition record (with the dynamic
+  /// signal/wait match fields filled in).
+  ExecutedStep execute(Rank rank);
+
+  /// For an enabled kWait next step: the (sender, stamp) it would consume.
+  std::pair<Rank, std::uint64_t> peek_match(Rank rank) const;
+
+  /// The dynamic view of `rank`'s next step, as if executed now — what
+  /// execute() would return. Used by the sleep-set filter and the
+  /// independence property test, which need dependence of *pending*
+  /// transitions. For a blocked wait the match fields stay unset (-1/0),
+  /// which can never equal a real send stamp (stamps are >= 1).
+  ExecutedStep peek_executed(Rank rank) const;
+
+  const std::vector<record::Event>& events() const { return events_; }
+  std::size_t steps_executed() const { return steps_executed_; }
+
+  /// Canonical dump of the scheduler state (cursors, counts, mailbox FIFO
+  /// order). The fold keys undelivered signals by sender, so same-channel
+  /// sends from different ranks commute in *fold* state — but their mailbox
+  /// order decides which one a future wait consumes, so it is semantic
+  /// state too. The property test compares scheduler_digest +
+  /// record::replay_state_digest; together they capture the full model
+  /// state.
+  std::string scheduler_digest() const;
+
+ private:
+  const FlatProgram* program_;
+  std::vector<std::size_t> cursor_;        ///< next step index per rank.
+  std::vector<std::uint64_t> count_;       ///< events emitted per rank.
+  /// (dst, tag) -> FIFO of (src, sender stamp) for unconsumed signals.
+  std::map<std::pair<Rank, std::uint64_t>, std::deque<std::pair<Rank, std::uint64_t>>>
+      mail_;
+  std::vector<record::Event> events_;
+  std::size_t steps_executed_ = 0;
+};
+
+/// Seals an explored interleaving as a replayable witness log: kThread
+/// header (dual-clock, lock handoff, acked puts — the thread harness
+/// defaults), the program's "fz<i>" area table, the synthesized events,
+/// and the folded verdict signature in the live footer (the caller adds
+/// forensic metadata — program text, schedule — before export).
+record::Log make_witness_log(const FlatProgram& program,
+                             const std::vector<record::Event>& events,
+                             core::DetectorMode mode, bool completed,
+                             const std::vector<Rank>& stuck);
+
+}  // namespace dsmr::explore

@@ -10,6 +10,7 @@
 #include <system_error>
 #include <utility>
 
+#include "explore/dpor.hpp"
 #include "record/recorder.hpp"
 #include "record/replay.hpp"
 #include "util/assert.hpp"
@@ -88,13 +89,13 @@ ProgramVerdict check_program(const Program& program, const FuzzCheckOptions& opt
         // fires it, so minimization would degenerate to the empty program).
         verdict.failures.push_back(analysis::Divergence{
             scenario.name, run.seed, run.perturb, run.fault,
-            "planted-race-vanished", detail.str(), "", ""});
+            "planted-race-vanished", detail.str(), "", "", ""});
       } else if (run.dual_flagged == 0 || run.single_flagged == 0 || live == 0) {
         // The race exists in ground truth but a detector layer stayed
         // silent. Shrinking preserves "has a race AND a layer misses it".
         verdict.failures.push_back(analysis::Divergence{
             scenario.name, run.seed, run.perturb, run.fault,
-            "planted-bug-not-detected", detail.str(), "", ""});
+            "planted-bug-not-detected", detail.str(), "", "", ""});
       }
     }
   } else if (program.expect == Expectation::kSometimes) {
@@ -117,7 +118,7 @@ ProgramVerdict check_program(const Program& program, const FuzzCheckOptions& opt
                  << " single=" << run.single_flagged << " live=" << live;
           verdict.failures.push_back(analysis::Divergence{
               scenario.name, run.seed, run.perturb, run.fault,
-              "sometimes-bug-not-detected", detail.str(), "", ""});
+              "sometimes-bug-not-detected", detail.str(), "", "", ""});
         }
       } else if (live > 0 || run.dual_flagged > 0) {
         std::ostringstream detail;
@@ -125,7 +126,7 @@ ProgramVerdict check_program(const Program& program, const FuzzCheckOptions& opt
                << " on a schedule with empty ground truth";
         verdict.failures.push_back(analysis::Divergence{
             scenario.name, run.seed, run.perturb, run.fault, "sometimes-noise",
-            detail.str(), "", ""});
+            detail.str(), "", "", ""});
       }
     }
     if (verdict.completed_runs > 0 && verdict.manifested_runs == 0) {
@@ -137,7 +138,7 @@ ProgramVerdict check_program(const Program& program, const FuzzCheckOptions& opt
       verdict.failures.push_back(analysis::Divergence{
           scenario.name, runs.front().seed, runs.front().perturb,
           runs.front().fault, "sometimes-bug-never-manifested", detail.str(),
-          "", ""});
+          "", "", ""});
     }
   }
 
@@ -167,7 +168,41 @@ ProgramVerdict check_program(const Program& program, const FuzzCheckOptions& opt
                << " reports";
         verdict.failures.push_back(analysis::Divergence{
             scenario.name, run.seed, run.perturb, run.fault, "fault-transparency",
-            detail.str(), "", ""});
+            detail.str(), "", "", ""});
+      }
+    }
+  }
+
+  // The exhaustive invariant (ROADMAP item 4): small programs get every
+  // reduced interleaving of the threaded op model, turning the sampled
+  // grid's rates into proofs — a kSometimes bug must EXIST somewhere in
+  // the space, a clean program must have NO racy interleaving anywhere.
+  if (options.exhaustive) {
+    const explore::Eligibility okay = explore::exhaustive_eligible(program);
+    if (!okay.eligible) {
+      verdict.explore_skipped = okay.reason;
+    } else {
+      explore::ExploreOptions explore_options;
+      explore_options.max_interleavings = options.exhaustive_max_interleavings;
+      explore_options.max_witnesses = 0;  // the CLI exports its own.
+      const explore::ExploreReport explored =
+          explore::explore_program(program, explore_options);
+      verdict.explored = true;
+      verdict.explored_interleavings = explored.interleavings;
+      verdict.explored_pruned = explored.pruned_branches;
+      verdict.explored_racy = explored.racy_interleavings;
+      verdict.explored_planted_flagged = explored.planted_flagged;
+      verdict.explore_signatures = explored.signatures.size();
+      for (const std::string& failure :
+           explore::check_exhaustive(program, explored)) {
+        const std::size_t colon = failure.find(": ");
+        analysis::Divergence divergence;
+        divergence.scenario = scenario.name;
+        divergence.check =
+            colon == std::string::npos ? failure : failure.substr(0, colon);
+        divergence.detail =
+            colon == std::string::npos ? "" : failure.substr(colon + 2);
+        verdict.failures.push_back(std::move(divergence));
       }
     }
   }
@@ -607,6 +642,10 @@ SweepOutcome run_draw(const Draw& draw, const FuzzCheckOptions& check,
   out.ops = program.op_count();
   out.signature = coverage_signature(program, verdict);
   out.recorded = recorded;
+  out.explored = verdict.explored;
+  out.explore_skipped = verdict.explore_skipped;
+  out.explored_interleavings = verdict.explored_interleavings;
+  out.explored_racy = verdict.explored_racy;
   out.failures = verdict.failures;
   if (!verdict.failures.empty()) out.program_text = serialize(program);
   if (verbose) {
@@ -702,6 +741,9 @@ FuzzSweepResult run_fuzz_sweep(const FuzzSweepConfig& config) {
     result.fault_runs += outcome.fault_runs;
     result.watchdog_runs += outcome.watchdog_runs;
     if (outcome.recorded) ++result.recorded_logs;
+    if (outcome.explored) ++result.explored_programs;
+    if (!outcome.explore_skipped.empty()) ++result.explore_skipped_programs;
+    result.explored_interleavings += outcome.explored_interleavings;
     run_signatures.insert(outcome.signature);
     outcome.novel = corpus.add(outcome.signature, outcome.arm, outcome.program_seed);
     if (outcome.novel) ++result.corpus_new;

@@ -22,7 +22,7 @@ using runtime::ThreadWorld;
 constexpr std::uint64_t kBoundaryTagBase = 0xB5ULL << 56;
 
 std::uint64_t boundary_tag(std::size_t phase, std::uint32_t round) {
-  return kBoundaryTagBase | (static_cast<std::uint64_t>(phase) << 8) | round;
+  return boundary_signal_tag(phase, round);
 }
 
 /// Every BoundaryKind as a full frontier: the dissemination barrier, with
@@ -97,6 +97,10 @@ std::string ranks_to_string(const std::vector<Rank>& ranks) {
 }
 
 }  // namespace
+
+std::uint64_t boundary_signal_tag(std::size_t phase, std::uint32_t round) {
+  return kBoundaryTagBase | (static_cast<std::uint64_t>(phase) << 8) | round;
+}
 
 ProgramHandles spawn_program_threaded(ThreadWorld& world,
                                       std::shared_ptr<const Program> program) {

@@ -48,6 +48,13 @@
 
 namespace dsmr::fuzz {
 
+/// Tag of the dissemination-barrier signal for (phase, round) on the
+/// threaded backend. Exported so explore/model.hpp flattens phase
+/// boundaries into exactly the signal/wait micro-ops run_boundary executes
+/// (one source of truth: a synthesized log replays through ReplayGate only
+/// if every tag matches).
+std::uint64_t boundary_signal_tag(std::size_t phase, std::uint32_t round);
+
 /// Knobs for one threaded execution of a program.
 struct ThreadRunOptions {
   int stripes = 8;

@@ -338,12 +338,83 @@ class Folder {
   FoldState state_;
   ReplayResult result_;
   std::size_t index_ = 0;
+
+ public:
+  /// Canonical dump of the post-run fold state; every field the fold keeps
+  /// shows up, so two event orders commute iff their dumps match.
+  std::string state_digest(const ReplayResult& result) const {
+    std::ostringstream out;
+    for (std::size_t r = 0; r < state_.clocks.size(); ++r) {
+      out << "r" << r << "=" << state_.clocks[r].to_string() << "\n";
+    }
+    for (std::size_t i = 0; i < state_.areas.size(); ++i) {
+      const FoldState::Area& area = state_.areas[i];
+      out << "a" << i << " " << area.name << " home=" << area.home
+          << " v=" << area.v.full().to_string()
+          << " ve=" << epoch_digest(area.v)
+          << " w=" << area.w.full().to_string()
+          << " we=" << epoch_digest(area.w)
+          << " la=" << area.last_access_rank << " lw=" << area.last_write_rank;
+      out << " handoff=";
+      if (area.has_handoff) {
+        out << area.handoff.to_string();
+      } else {
+        out << "-";
+      }
+      out << "\n";
+    }
+    queue_digest(out, "put_issue", state_.put_issue);
+    queue_digest(out, "put_ack", state_.put_ack);
+    queue_digest(out, "get_issue", state_.get_issue);
+    queue_digest(out, "get_merge", state_.get_merge);
+    queue_digest(out, "unlock_release", state_.unlock_release);
+    for (const auto& [key, queue] : state_.signals) {
+      if (queue.empty()) continue;
+      out << "signal " << std::get<0>(key) << "->" << std::get<1>(key) << " t"
+          << std::get<2>(key) << ":";
+      for (const VectorClock& clk : queue) out << " " << clk.to_string();
+      out << "\n";
+    }
+    for (const core::RaceReport& report : result.reports) {
+      out << "race a" << report.area << " by r" << report.accessor << " "
+          << (report.kind == core::AccessKind::kWrite ? "W" : "R") << " vs "
+          << (report.against == core::ComparedAgainst::kW ? "W" : "V") << " "
+          << report.accessor_clock.to_string() << " | "
+          << report.stored_clock.to_string() << "\n";
+    }
+    return out.str();
+  }
+
+ private:
+  static std::string epoch_digest(const clocks::AdaptiveClock& clock) {
+    if (!clock.summarized()) return "full";
+    const clocks::Epoch epoch = clock.epoch();
+    return std::to_string(epoch.rank) + "@" + std::to_string(epoch.value);
+  }
+
+  template <typename Map>
+  static void queue_digest(std::ostringstream& out, const char* label,
+                           const Map& map) {
+    for (const auto& [key, queue] : map) {
+      if (queue.empty()) continue;
+      out << label << " (" << key.first << ",a" << key.second << "):";
+      for (const VectorClock& clk : queue) out << " " << clk.to_string();
+      out << "\n";
+    }
+  }
 };
 
 }  // namespace
 
 ReplayResult replay_fold(const Log& log, core::DetectorMode mode) {
   return Folder(log, mode).run();
+}
+
+std::string replay_state_digest(const Log& log, core::DetectorMode mode) {
+  Folder folder(log, mode);
+  const ReplayResult result = folder.run();
+  if (!result.ok()) return result.error;
+  return folder.state_digest(result);
 }
 
 std::string check_record_replay(const Log& log) {

@@ -51,6 +51,16 @@ struct ReplayResult {
 /// story: record at kOff, fold at kDualClock).
 ReplayResult replay_fold(const Log& log, core::DetectorMode mode);
 
+/// Canonical rendering of the COMPLETE folded detector state after the
+/// last event: per-rank clocks, every area's V/W (full clock + epoch +
+/// summarized bit), last-access/last-write ranks, lock handoff clocks,
+/// in-flight payload queues, undelivered signal clocks in queue order, and
+/// the race reports in fold order. Two event orders commute on detector
+/// state iff their digests are byte-identical — explore/'s DPOR
+/// independence property test is built on this. Returns the "[bad-trace]"
+/// diagnostic when the fold fails.
+std::string replay_state_digest(const Log& log, core::DetectorMode mode);
+
 /// The fuzz-grid invariant check: fold the log at full dual-clock detection
 /// and compare against the embedded live footer. Returns "" on match, else
 /// a one-line divergence description.

@@ -196,7 +196,8 @@ int main(int argc, char** argv) {
                 "[--schedule uniform|coverage] [--corpus-dir DIR] [--schedule-seeds K] "
                 "[--perturbations K] [--perturb-min NS] [--perturb-max NS] "
                 "[--threads N] [--budget-ms MS] [--json FILE] [--repro-dir DIR] "
-                "[--record-dir DIR] [--no-shrink] [--fault PLAN] "
+                "[--record-dir DIR] [--no-shrink] [--exhaustive] "
+                "[--explore-max-interleavings N] [--fault PLAN] "
                 "[--faults PLAN;PLAN;...] "
                 "[--backend sim|threaded|both] [--thread-reps N] [--sim-seeds N] "
                 "[--stripes N] [--thread-timeout-ms MS] [--verbose] | "
@@ -266,6 +267,13 @@ int main(int argc, char** argv) {
   const std::string repro_dir = cli.get_string("repro-dir", "");
   const std::string record_dir = cli.get_string("record-dir", "");
   const bool no_shrink = cli.get_flag("no-shrink");
+  // Arm the exhaustive-exploration invariant per program (explore/dpor.hpp):
+  // programs inside the size gate (<= 3 ranks, <= 8 non-tick ops/rank) get
+  // their full reduced interleaving space checked on top of the sampled
+  // grid. Note dsmr_fuzz's default --ranks 4 leaves everything over the
+  // gate — pass --ranks 3 (or 2) for the invariant to bite.
+  const bool exhaustive = cli.get_flag("exhaustive");
+  const auto explore_cap = cli.get_uint("explore-max-interleavings", 1u << 20);
   // --fault takes one plan (back-compatible with the old none|drop-live-
   // reports modes via the plan parser's aliases); --faults a ';'-list.
   // Both feed the same fault axis and may be combined.
@@ -408,6 +416,8 @@ int main(int argc, char** argv) {
   sweep.corpus_dir = corpus_dir;
   sweep.record_dir = record_dir;
   sweep.check.schedule_seeds = schedule_seeds;
+  sweep.check.exhaustive = exhaustive;
+  sweep.check.exhaustive_max_interleavings = explore_cap;
   // Parallelism lives on the *program* axis (the independent one); each
   // program's own grid runs serially on its worker.
   sweep.check.threads = 1;
@@ -602,6 +612,13 @@ int main(int argc, char** argv) {
                 static_cast<long long>(budget_ms),
                 static_cast<unsigned long long>(result.programs));
   }
+  if (exhaustive) {
+    std::printf("exhaustive: %llu program(s) explored (%llu interleavings), "
+                "%llu over the size gate\n",
+                static_cast<unsigned long long>(result.explored_programs),
+                static_cast<unsigned long long>(result.explored_interleavings),
+                static_cast<unsigned long long>(result.explore_skipped_programs));
+  }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -622,6 +639,9 @@ int main(int argc, char** argv) {
         << ",\"clean\":" << result.clean << ",\"schedules\":" << result.schedules
         << ",\"fault_runs\":" << result.fault_runs
         << ",\"watchdog_runs\":" << result.watchdog_runs
+        << ",\"explored_programs\":" << result.explored_programs
+        << ",\"explore_skipped\":" << result.explore_skipped_programs
+        << ",\"explored_interleavings\":" << result.explored_interleavings
         << ",\"signatures\":" << result.distinct_signatures
         << ",\"corpus_new\":" << result.corpus_new << ",\"elapsed_ms\":" << elapsed_ms()
         << ",\"budget_hit\":" << (result.budget_hit ? "true" : "false")
