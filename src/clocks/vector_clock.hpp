@@ -95,6 +95,14 @@ class VectorClock {
   /// Full four-way comparison under Mattern's partial order.
   Ordering compare(const VectorClock& other) const;
 
+  /// Same comparison, branchless inner loop: both domination predicates
+  /// accumulate in a single pass with no early exit, so the compiler can
+  /// vectorize it (`#pragma omp simd`; enabled by `-fopenmp-simd` when the
+  /// toolchain has it, harmless otherwise). This is the batched check path's
+  /// fallback compare — `compare` stays as the scalar oracle, and debug
+  /// builds assert the two agree on every call.
+  Ordering compare_vectorized(const VectorClock& other) const;
+
   /// The race predicate of Corollary 1: neither dominates the other.
   bool concurrent_with(const VectorClock& other) const {
     return compare(other) == Ordering::kConcurrent;
@@ -141,6 +149,23 @@ class VectorClock {
   void encode_compact(std::vector<std::byte>& out) const;
   static VectorClock decode_compact(std::span<const std::byte> in, std::size_t n,
                                     std::size_t* offset);
+
+  /// ---- delta encoding (piggyback compression) ----
+  //
+  // Dual-clock wire messages carry two clocks that are usually equal or
+  // near-equal (W is refreshed from the same event stream as V), so the
+  // second clock ships as a sparse delta against the first: a 1-byte format
+  // tag, then either the plain compact encoding (tag 0) or a varint count of
+  // differing components followed by (index, value) varint pairs (tag 1),
+  // whichever is smaller. Worst case is plain-compact + 1 byte; typical case
+  // (equal clocks) is 2 bytes regardless of n.
+
+  /// Bytes of the delta encoding of `*this` against `base` (tag included).
+  std::size_t delta_wire_size(const VectorClock& base) const;
+  void encode_delta(const VectorClock& base, std::vector<std::byte>& out) const;
+  static VectorClock decode_delta(const VectorClock& base,
+                                  std::span<const std::byte> in,
+                                  std::size_t* offset);
 
   /// Fixed wire encoding: n little-endian u64 components.
   std::size_t fixed_wire_size() const { return size_ * sizeof(ClockValue); }

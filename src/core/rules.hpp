@@ -5,22 +5,29 @@
 // home NIC's atomic event (kHomeSide transport), so every transport applies
 // the same algorithm.
 //
-// Two implementations of the same predicate:
-//  * `check_access` — the production path. When the stored state carries an
-//    epoch witness (clocks/epoch.hpp) and the accessor clock is a genuine
-//    post-tick event clock, the full four-way clock comparison collapses to
-//    two integer compares (O(1) instead of O(n)); otherwise it falls back
-//    to the full comparison.
+// Three implementations of the same predicate:
+//  * `check_span` — the production kernel. Walks a struct-of-arrays lane of
+//    per-area stored state (epoch witness, prior rank, clock handle) and
+//    emits ONE verdict per run of state-identical areas: within a run the
+//    epoch comparison (two integer compares, O(1)) or the vectorized full
+//    comparison happens once, however many areas the run covers. This is
+//    what detect::ShardedDetector::check_range feeds per shard.
+//  * `check_access` — the legacy single-area entry point, kept as a thin
+//    wrapper over a one-element span so every existing call site (and the
+//    P-test/P8 bit-identity property suites) keeps working unchanged.
 //  * `check_access_oracle` — the original always-O(n) full-vector-clock
-//    path, kept as the property-test oracle: both functions must return
+//    path, kept as the property-test oracle: all entry points must return
 //    bit-identical verdicts on every input the protocols can produce (and
-//    debug builds cross-check every fast-path verdict against it).
+//    debug builds cross-check every span verdict against it, per area).
 #pragma once
+
+#include <cstddef>
 
 #include "clocks/epoch.hpp"
 #include "clocks/ordering.hpp"
 #include "clocks/vector_clock.hpp"
 #include "core/types.hpp"
+#include "util/assert.hpp"
 #include "util/types.hpp"
 
 namespace dsmr::core {
@@ -51,6 +58,26 @@ struct StoredClocks {
   /// ships to initiators.
   clocks::Epoch v_epoch{};
   clocks::Epoch w_epoch{};
+};
+
+/// A struct-of-arrays view of one comparison lane (V or W) over a contiguous
+/// range of detector slots: parallel arrays of epoch witnesses, prior
+/// initiator ranks, and stored-clock handles. Clock handles are pointers so
+/// cold areas can all alias one shared zero clock — pointer equality is the
+/// run-batching predicate (equal handle ⇒ equal clock, no O(n) compare
+/// needed to extend a run).
+struct SpanLane {
+  const clocks::Epoch* epochs = nullptr;
+  const Rank* prior_ranks = nullptr;
+  const clocks::VectorClock* const* clocks = nullptr;  ///< never-null entries.
+};
+
+/// What a span walk did — the batch-vs-scalar accounting the benches report.
+struct SpanStats {
+  std::size_t checked = 0;        ///< areas covered.
+  std::size_t runs = 0;           ///< state-identical runs, one verdict each.
+  std::size_t epoch_compares = 0; ///< runs decided by the O(1) epoch path.
+  std::size_t full_compares = 0;  ///< runs that fell back to the full compare.
 };
 
 /// Applies Corollary 1 to one access:
@@ -126,38 +153,118 @@ inline clocks::Ordering compare_event_clocks(const clocks::VectorClock& accessor
   return clocks::Ordering::kConcurrent;
 }
 
+/// True when this (mode, kind) compares against V — the lane-selection rule
+/// shared by every entry point and by the detector's lane layout.
+inline bool compares_against_v(DetectorMode mode, AccessKind kind) {
+  return mode == DetectorMode::kSingleClock || kind == AccessKind::kWrite;
+}
+
 }  // namespace detail
+
+/// The batched kernel: walks `count` slots of `lane` and calls
+/// `on_run(first, length, verdict)` once per maximal run of state-identical
+/// slots (same clock handle, same epoch, same prior rank — equal handle
+/// implies equal clock, so one comparison soundly decides the whole run).
+/// Covers every slot exactly once, in order.
+///
+/// `trusted_epochs` distinguishes the two producers of lane state:
+///  * true  — the lane belongs to a detect::ShardedDetector, where a valid
+///    epoch is consistent with its clock *by construction* (both were
+///    written together by store_access), so the per-slot consistency probe
+///    of `epoch_fast_applicable` is skipped; only the accessor-side
+///    preconditions are checked (once, not per run).
+///  * false — the lane view was assembled from arbitrary caller state (the
+///    check_access shim): the full legacy applicability test runs per run,
+///    keeping verdicts bit-identical to the historical single-area path.
+///
+/// Debug builds cross-check every run's verdict against the full-VC oracle
+/// exactly as check_access always has: the selected lane is presented to the
+/// oracle as both V and W, which collapses the oracle's lane selection onto
+/// the same reference clock and prior rank regardless of (mode, kind).
+template <typename OnRun>
+SpanStats check_span(DetectorMode mode, AccessKind kind, Rank accessor,
+                     const clocks::VectorClock& accessor_clock,
+                     const SpanLane& lane, std::size_t count,
+                     bool trusted_epochs, OnRun&& on_run) {
+  SpanStats stats;
+  stats.checked = count;
+  if (count == 0) return stats;
+  if (mode == DetectorMode::kOff) {
+    stats.runs = 1;
+    on_run(std::size_t{0}, count, Verdict{});
+    return stats;
+  }
+
+  const ComparedAgainst against = detail::compares_against_v(mode, kind)
+                                      ? ComparedAgainst::kV
+                                      : ComparedAgainst::kW;
+  const auto a = static_cast<std::size_t>(accessor);
+  // Accessor-side half of the fast-path precondition, hoisted out of the
+  // loop: valid rank, in-range component, genuinely post-tick clock.
+  const bool accessor_ok =
+      accessor >= 0 && a < accessor_clock.size() && accessor_clock[a] > 0;
+
+  std::size_t i = 0;
+  while (i < count) {
+    const clocks::VectorClock* stored = lane.clocks[i];
+    const clocks::Epoch epoch = lane.epochs[i];
+    const Rank prior = lane.prior_ranks[i];
+    std::size_t j = i + 1;
+    while (j < count && lane.clocks[j] == stored && lane.epochs[j] == epoch &&
+           lane.prior_ranks[j] == prior) {
+      ++j;
+    }
+
+    Verdict verdict;
+    verdict.against = against;
+    const bool fast =
+        trusted_epochs
+            ? (epoch.valid() && accessor_ok &&
+               static_cast<std::size_t>(epoch.rank) < accessor_clock.size())
+            : detail::epoch_fast_applicable(accessor_clock, accessor, *stored, epoch);
+    if (fast) {
+      verdict.ordering =
+          detail::compare_event_clocks(accessor_clock, accessor, *stored, epoch);
+      ++stats.epoch_compares;
+    } else {
+      verdict.ordering = accessor_clock.compare_vectorized(*stored);
+      ++stats.full_compares;
+    }
+    // Same-initiator accesses are serialized by program order and the FIFO
+    // channel to the home NIC regardless of what the clocks can prove.
+    verdict.race =
+        verdict.ordering == clocks::Ordering::kConcurrent && prior != accessor;
+
+#ifndef NDEBUG
+    {
+      const StoredClocks shadow{*stored, *stored, prior, prior, epoch, epoch};
+      DSMR_ASSERT(verdict ==
+                  check_access_oracle(mode, kind, accessor, accessor_clock, shadow));
+    }
+#endif
+    ++stats.runs;
+    on_run(i, j - i, verdict);
+    i = j;
+  }
+  return stats;
+}
 
 inline Verdict check_access(DetectorMode mode, AccessKind kind, Rank accessor,
                             const clocks::VectorClock& accessor_clock,
                             const StoredClocks& stored) {
+  // Deprecation shim: a one-element span over the caller's StoredClocks.
+  // Bit-identical to the historical single-area implementation (untrusted
+  // epochs → the full legacy applicability test decides the fast path).
+  const bool use_v = detail::compares_against_v(mode, kind);
+  const clocks::VectorClock* clock = use_v ? &stored.v : &stored.w;
+  const clocks::Epoch epoch = use_v ? stored.v_epoch : stored.w_epoch;
+  const Rank prior = use_v ? stored.last_access_rank : stored.last_write_rank;
+  const SpanLane lane{&epoch, &prior, &clock};
+
   Verdict verdict;
-  if (mode == DetectorMode::kOff) return verdict;
-
-  const clocks::VectorClock* reference = nullptr;
-  const clocks::Epoch* epoch = nullptr;
-  Rank prior_rank = kInvalidRank;
-  if (mode == DetectorMode::kSingleClock || kind == AccessKind::kWrite) {
-    reference = &stored.v;
-    epoch = &stored.v_epoch;
-    prior_rank = stored.last_access_rank;
-    verdict.against = ComparedAgainst::kV;
-  } else {
-    reference = &stored.w;
-    epoch = &stored.w_epoch;
-    prior_rank = stored.last_write_rank;
-    verdict.against = ComparedAgainst::kW;
-  }
-
-  verdict.ordering =
-      detail::epoch_fast_applicable(accessor_clock, accessor, *reference, *epoch)
-          ? detail::compare_event_clocks(accessor_clock, accessor, *reference, *epoch)
-          : accessor_clock.compare(*reference);
-  verdict.race = verdict.ordering == clocks::Ordering::kConcurrent;
-  // Same-initiator accesses are serialized by program order and the FIFO
-  // channel to the home NIC regardless of what the clocks can prove.
-  if (verdict.race && prior_rank == accessor) verdict.race = false;
-
+  check_span(mode, kind, accessor, accessor_clock, lane, 1,
+             /*trusted_epochs=*/false,
+             [&](std::size_t, std::size_t, const Verdict& v) { verdict = v; });
 #ifndef NDEBUG
   // Debug builds cross-check every verdict — including every live verdict of
   // every protocol run — against the full-vector-clock oracle.

@@ -17,7 +17,9 @@ AreaId PublicSegment::register_area(std::uint32_t offset, std::uint32_t size,
   DSMR_REQUIRE(offset + size <= bytes_.size(),
                "area '" << name << "' [" << offset << "," << offset + size
                         << ") exceeds segment of " << bytes_.size() << " bytes");
-  // Overlap check against neighbours in offset order.
+  // Overlap check against neighbours in the sorted prefix, then against
+  // every entry of the (bounded) unsorted tail. Rejection stays immediate —
+  // an overlapping registration must die here, not at some later flush.
   const auto next = std::lower_bound(
       by_offset_.begin(), by_offset_.end(), offset,
       [](const IndexEntry& e, std::uint32_t o) { return e.offset < o; });
@@ -30,6 +32,11 @@ AreaId PublicSegment::register_area(std::uint32_t offset, std::uint32_t size,
     DSMR_REQUIRE(areas_[prev->id].end() <= offset,
                  "area '" << name << "' overlaps area '" << areas_[prev->id].name << "'");
   }
+  for (const IndexEntry& entry : tail_) {
+    const Area& other = areas_[entry.id];
+    DSMR_REQUIRE(offset + size <= other.offset || other.end() <= offset,
+                 "area '" << name << "' overlaps area '" << other.name << "'");
+  }
 
   const auto id = static_cast<AreaId>(areas_.size());
   Area area;
@@ -37,12 +44,29 @@ AreaId PublicSegment::register_area(std::uint32_t offset, std::uint32_t size,
   area.offset = offset;
   area.size = size;
   area.name = std::move(name);
-  area.v_state = clocks::AdaptiveClock(nprocs_, home_);
-  area.w_state = clocks::AdaptiveClock(nprocs_, home_);
   areas_.push_back(std::move(area));
-  by_offset_.insert(next, IndexEntry{offset, id});
+  if (tail_.empty() && (by_offset_.empty() || by_offset_.back().offset < offset)) {
+    // The bump-allocation path: offsets arrive in increasing order, so the
+    // sorted prefix grows by plain O(1) append.
+    by_offset_.push_back(IndexEntry{offset, id});
+  } else {
+    tail_.push_back(IndexEntry{offset, id});
+    if (tail_.size() >= kMaxTail) flush_tail();
+  }
   bump_ = std::max(bump_, offset + size);
   return id;
+}
+
+void PublicSegment::flush_tail() {
+  std::sort(tail_.begin(), tail_.end(),
+            [](const IndexEntry& a, const IndexEntry& b) { return a.offset < b.offset; });
+  const std::size_t middle = by_offset_.size();
+  by_offset_.insert(by_offset_.end(), tail_.begin(), tail_.end());
+  std::inplace_merge(
+      by_offset_.begin(), by_offset_.begin() + static_cast<std::ptrdiff_t>(middle),
+      by_offset_.end(),
+      [](const IndexEntry& a, const IndexEntry& b) { return a.offset < b.offset; });
+  tail_.clear();
 }
 
 AreaId PublicSegment::allocate_area(std::uint32_t size, std::string name) {
@@ -63,9 +87,14 @@ Area* PublicSegment::find_area(std::uint32_t offset, std::uint32_t len) {
   const auto it = std::upper_bound(
       by_offset_.begin(), by_offset_.end(), offset,
       [](std::uint32_t o, const IndexEntry& e) { return o < e.offset; });
-  if (it == by_offset_.begin()) return nullptr;
-  Area& candidate = areas_[std::prev(it)->id];
-  if (offset >= candidate.offset && offset + len <= candidate.end()) return &candidate;
+  if (it != by_offset_.begin()) {
+    Area& candidate = areas_[std::prev(it)->id];
+    if (offset >= candidate.offset && offset + len <= candidate.end()) return &candidate;
+  }
+  for (const IndexEntry& entry : tail_) {
+    Area& candidate = areas_[entry.id];
+    if (offset >= candidate.offset && offset + len <= candidate.end()) return &candidate;
+  }
   return nullptr;
 }
 
@@ -89,12 +118,6 @@ std::vector<std::byte> PublicSegment::read_bytes(std::uint32_t offset,
                                                  std::uint32_t len) const {
   auto src = bytes(offset, len);
   return {src.begin(), src.end()};
-}
-
-std::size_t PublicSegment::total_clock_bytes() const {
-  std::size_t total = 0;
-  for (const auto& area : areas_) total += area.clock_bytes();
-  return total;
 }
 
 }  // namespace dsmr::mem

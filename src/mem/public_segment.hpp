@@ -2,74 +2,45 @@
 // address space (paper §III.A, Fig. 1).
 //
 // Shared data must be *registered* as an area before remote access — the
-// analogue of RDMA memory registration. Each registered area carries the
-// detection state the paper attaches to "each shared piece of data"
-// (§IV.B, §V.A): a general-purpose state V (last access) and a write state
-// W (last write). Both are adaptive (clocks/epoch.hpp): while the stored
-// clock is the clock of one known home-NIC event — always, under the
-// paper's protocols — it stays epoch-summarized and race checks against it
-// are O(1).
+// analogue of RDMA memory registration. The segment owns the *addressing*
+// facts only: offsets, sizes, names, and the offset→area index. The
+// detection state the paper attaches to "each shared piece of data" (§IV.B,
+// §V.A — the V/W clocks, epoch witnesses, prior event identities) lives in
+// detect::ShardedDetector, keyed by the same dense AreaId this segment
+// assigns; the two registries grow in lockstep through the runtime's alloc
+// paths.
 //
 // Area lookup is the single hottest metadata operation (every one-sided
-// access resolves its target area), so the offset index is a sorted vector
-// probed by binary search, and areas live in a deque so `Area*` stays
-// stable across registrations (which lets NICs keep resolver caches).
+// access resolves its target area), so the index is a sorted vector probed
+// by binary search — with *amortized* insertion: bump-allocated areas (the
+// production path — monotonically increasing offsets) append straight to
+// the sorted prefix in O(1), and arbitrary-offset registrations go to a
+// bounded unsorted tail that is merged (sort + inplace_merge) only when it
+// fills. Lookups binary-search the prefix and linearly scan the ≤64-entry
+// tail. Areas live in a deque so `Area*` stays stable across registrations.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
-#include "clocks/epoch.hpp"
-#include "clocks/vector_clock.hpp"
-#include "mem/global_address.hpp"
 #include "util/types.hpp"
 
 namespace dsmr::mem {
 
 using AreaId = std::uint32_t;
 
-/// A registered shared area and its detection metadata.
+/// A registered shared area: addressing and identity only. Detection
+/// metadata for the area lives in detect::ShardedDetector under this id.
 struct Area {
   AreaId id = 0;
   std::uint32_t offset = 0;  ///< start within the public segment.
   std::uint32_t size = 0;
   std::string name;          ///< diagnostic label used in race reports.
 
-  // Detection state (paper §IV.B), adaptive representation. Sized n (number
-  // of processes); epoch-summarized while each stored clock is the clock of
-  // one known home event.
-  clocks::AdaptiveClock v_state;  ///< last access to the area.
-  clocks::AdaptiveClock w_state;  ///< last write to the area.
-
-  /// Full stored clocks (the values Algorithms 1-3 name V(x) and W(x)).
-  const clocks::VectorClock& v_clock() const { return v_state.full(); }
-  const clocks::VectorClock& w_clock() const { return w_state.full(); }
-
-  // Identities of the events whose clocks are stored above; lets race
-  // reports name *both* sides of a race and lets the offline analysis match
-  // online reports against ground-truth pairs.
-  std::uint64_t last_access_event = 0;  ///< 0 = none yet.
-  std::uint64_t last_write_event = 0;
-  // Initiator ranks of those events. Shipped alongside the clocks: accesses
-  // by the *same* initiator are ordered by program order + FIFO channels
-  // even when the clocks cannot prove it (async puts), so the detector
-  // exempts same-rank pairs.
-  Rank last_access_rank = kInvalidRank;
-  Rank last_write_rank = kInvalidRank;
-
   std::uint32_t end() const { return offset + size; }
-
-  /// Clock metadata footprint in bytes — the storage-overhead experiment
-  /// (CLAIM-V.A1) sums this across areas. Charges the compact (varint)
-  /// encoding plus the epoch witnesses while summarized, matching what a
-  /// production NIC would persist.
-  std::size_t clock_bytes() const {
-    return v_state.storage_bytes() + w_state.storage_bytes();
-  }
 };
 
 class PublicSegment {
@@ -87,7 +58,7 @@ class PublicSegment {
   AreaId register_area(std::uint32_t offset, std::uint32_t size, std::string name);
 
   /// Registers the next free region (bump allocation); the common path used
-  /// by World::alloc_public.
+  /// by World::alloc_public. O(1) amortized — appends to the sorted prefix.
   AreaId allocate_area(std::uint32_t size, std::string name);
 
   Area& area(AreaId id);
@@ -97,7 +68,8 @@ class PublicSegment {
   /// The area containing [offset, offset+len), or nullptr if the range is
   /// unregistered or straddles an area boundary. Pointers stay valid for
   /// the segment's lifetime (areas are never deregistered), so callers may
-  /// cache the result for ranges inside the same area.
+  /// cache the result for ranges inside the same area. Read-only and safe
+  /// to call concurrently once registrations have quiesced.
   Area* find_area(std::uint32_t offset, std::uint32_t len);
 
   /// Raw byte access (bounds-checked).
@@ -107,20 +79,25 @@ class PublicSegment {
   void write_bytes(std::uint32_t offset, std::span<const std::byte> data);
   std::vector<std::byte> read_bytes(std::uint32_t offset, std::uint32_t len) const;
 
-  /// Total detection-metadata footprint (CLAIM-V.A1).
-  std::size_t total_clock_bytes() const;
-
  private:
   struct IndexEntry {
     std::uint32_t offset;
     AreaId id;
   };
 
+  /// Arbitrary-offset registrations buffer here until the tail fills, then
+  /// merge into the sorted prefix — O(kMaxTail) worst-case lookup overhead,
+  /// amortized O(log n) insertion instead of the old O(n) vector::insert.
+  static constexpr std::size_t kMaxTail = 64;
+
+  void flush_tail();
+
   Rank home_;
   std::size_t nprocs_;
   std::vector<std::byte> bytes_;
   std::deque<Area> areas_;              ///< deque: stable Area* across growth.
-  std::vector<IndexEntry> by_offset_;   ///< sorted by offset; binary-searched.
+  std::vector<IndexEntry> by_offset_;   ///< sorted prefix; binary-searched.
+  std::vector<IndexEntry> tail_;        ///< unsorted tail; linearly scanned.
   std::uint32_t bump_ = 0;
 };
 

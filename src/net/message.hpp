@@ -92,16 +92,24 @@ struct Message {
 
   /// Bytes charged to the wire: fixed header + payload + (charged) clocks.
   /// This feeds both the bandwidth term of the latency model and the
-  /// traffic counters behind the §V.A overhead experiment. Clocks are
-  /// charged at their compact (LEB128) encoding — VectorClock::wire_size —
+  /// traffic counters behind the §V.A overhead experiment. A lone clock is
+  /// charged at its compact (LEB128) encoding — VectorClock::wire_size —
   /// which is what the kPiggyback / kSeparate transports would actually
-  /// pack per message.
+  /// pack per message. When a message carries BOTH clocks (the dual-clock
+  /// fetch/grant replies: V plus W), the second is charged delta-encoded
+  /// against the first (VectorClock::delta_wire_size): V and W of one area
+  /// usually differ in at most a few components, so the piggyback cost of
+  /// the second clock collapses to a tag byte plus the sparse diff.
   std::size_t wire_size() const {
     return kHeaderBytes + data.size() + charged_clock_bytes();
   }
 
   std::size_t charged_clock_bytes() const {
-    return clocks_on_wire ? clock.wire_size() + clock2.wire_size() : 0;
+    if (!clocks_on_wire) return 0;
+    if (clock.size() > 0 && clock2.size() == clock.size()) {
+      return clock.wire_size() + clock2.delta_wire_size(clock);
+    }
+    return clock.wire_size() + clock2.wire_size();
   }
 
   static constexpr std::size_t kHeaderBytes = 40;

@@ -1,7 +1,6 @@
 #include "nic/nic.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <sstream>
 #include <utility>
 
@@ -30,48 +29,22 @@ core::StoredClocks stored_from(const Message& m, Rank home) {
 }
 }  // namespace
 
-namespace {
-/// Resolver-cache keys: process-unique, monotonically assigned, never
-/// reused. Key 0 is reserved as "no entry".
-std::atomic<std::uint64_t> next_resolver_cache_key{1};
-}  // namespace
-
 Nic::Nic(Rank rank, sim::Engine& engine, net::Fabric& fabric, mem::PublicSegment& segment,
-         NodeClock& clock, NicConfig config, core::RaceLog& races, core::EventLog& events)
+         detect::ShardedDetector& detector, NodeClock& clock, NicConfig config,
+         core::RaceLog& races, core::EventLog& events)
     : rank_(rank),
       engine_(engine),
       fabric_(fabric),
       segment_(segment),
+      detector_(detector),
       clock_(clock),
       config_(config),
       races_(races),
-      events_(events),
-      resolver_cache_key_(next_resolver_cache_key.fetch_add(1, std::memory_order_relaxed)) {}
+      events_(events) {}
 
 const mem::Area* Nic::resolve(Rank rank, std::uint32_t offset, std::uint32_t len) const {
-  // One-entry cache, confined to the calling thread so concurrent resolves
-  // never race on it. The key comparison comes first: only a hit for THIS
-  // NIC may dereference the cached pointer (an entry left by another —
-  // possibly destroyed — World's NIC would be stale or dangling).
-  struct ResolverCache {
-    std::uint64_t key = 0;
-    Rank rank = kInvalidRank;
-    const mem::Area* area = nullptr;
-  };
-  static thread_local ResolverCache cache;
-  // Fast path: the queried range lies inside the last resolved area. Areas
-  // never overlap, never move and never shrink, so containment proves this
-  // is the area the full lookup would return.
-  if (cache.key == resolver_cache_key_ && cache.rank == rank) {
-    if (const mem::Area* cached = cache.area;
-        cached != nullptr && offset >= cached->offset && offset + len <= cached->end()) {
-      return cached;
-    }
-  }
   DSMR_CHECK_MSG(resolver_, "NIC has no area resolver installed");
-  const mem::Area* area = resolver_(rank, offset, len);
-  if (area != nullptr) cache = ResolverCache{resolver_cache_key_, rank, area};
-  return area;
+  return resolver_(rank, offset, len);
 }
 
 Message Nic::make(MsgType type, Rank dst, std::uint64_t op_id, std::uint32_t area) const {
@@ -405,13 +378,12 @@ void Nic::handle_lock_request(const Message& m, bool with_clocks) {
     grant.type = grant_type;
     grant.tag = delegated ? 1 : 0;
     if (grant_type == MsgType::kLockFetchGrant) {
-      const mem::Area& area = segment_.area(m.area);
-      grant.clock = area.v_clock();
-      grant.clock2 = area.w_clock();
-      grant.event_id = area.last_access_event;
-      grant.event_id2 = area.last_write_event;
-      grant.prior_access_rank = area.last_access_rank;
-      grant.prior_write_rank = area.last_write_rank;
+      grant.clock = detector_.v_clock(m.area);
+      grant.clock2 = detector_.w_clock(m.area);
+      grant.event_id = detector_.last_access_event(m.area);
+      grant.event_id2 = detector_.last_write_event(m.area);
+      grant.prior_access_rank = detector_.last_access_rank(m.area);
+      grant.prior_write_rank = detector_.last_write_rank(m.area);
     } else if (m.flag && config_.lock_clock_handoff) {
       // User lock: hand over the previous releaser's clock (HB edge).
       if (const clocks::VectorClock* handoff = locks_.handoff(m.area)) {
@@ -444,32 +416,24 @@ void Nic::handle_unlock(const Message& m) {
 }
 
 void Nic::handle_clock_fetch(const Message& m) {
-  const mem::Area& area = segment_.area(m.area);
   Message resp;
   resp.type = MsgType::kClockResponse;
-  resp.clock = area.v_clock();
-  resp.clock2 = area.w_clock();
-  resp.event_id = area.last_access_event;
-  resp.event_id2 = area.last_write_event;
-  resp.prior_access_rank = area.last_access_rank;
-  resp.prior_write_rank = area.last_write_rank;
+  resp.clock = detector_.v_clock(m.area);
+  resp.clock2 = detector_.w_clock(m.area);
+  resp.event_id = detector_.last_access_event(m.area);
+  resp.event_id2 = detector_.last_write_event(m.area);
+  resp.prior_access_rank = detector_.last_access_rank(m.area);
+  resp.prior_write_rank = detector_.last_write_rank(m.area);
   reply(m, std::move(resp));
 }
 
 void Nic::handle_clock_event(const Message& m) {
-  mem::Area& area = segment_.area(m.area);
   // The home-side clock event: receiving the access is an event at the home
   // NIC (tick + merge, the values the paper's Fig. 5 annotates), and the
   // resulting clock is stored as the area's V (and W for writes).
   clock_.receive_event(m.src, m.clock);
-  area.v_state.store_event(rank_, clock_.vector());
-  area.last_access_event = m.event_id;
-  area.last_access_rank = m.src;
-  if (m.flag) {
-    area.w_state.store_event(rank_, clock_.vector());
-    area.last_write_event = m.event_id;
-    area.last_write_rank = m.src;
-  }
+  detector_.store_access(m.area, rank_, clock_.vector(), /*is_write=*/m.flag,
+                         m.src, m.event_id);
   events_.annotate_apply(m.event_id, clock_.vector());
   Message ack;
   ack.type = MsgType::kClockEventAck;
@@ -536,11 +500,8 @@ void Nic::apply_put(const Message& m) {
   }
   bool raced = false;
   if (m.flag && config_.mode != DetectorMode::kOff) {
-    const auto verdict = core::check_access(
-        config_.mode, AccessKind::kWrite, m.src, m.clock,
-        core::StoredClocks{area.v_clock(), area.w_clock(), area.last_access_rank,
-                           area.last_write_rank, area.v_state.epoch(),
-                           area.w_state.epoch()});
+    const auto verdict =
+        detector_.check_one(config_.mode, AccessKind::kWrite, m.src, m.clock, m.area);
     if (verdict.race) {
       record_home_report(AccessKind::kWrite, m, area, verdict);
       raced = true;
@@ -548,12 +509,8 @@ void Nic::apply_put(const Message& m) {
   }
   clock_.receive_event(m.src, m.clock);
   segment_.write_bytes(area.offset + m.offset, m.data);
-  area.v_state.store_event(rank_, clock_.vector());
-  area.w_state.store_event(rank_, clock_.vector());
-  area.last_access_event = m.event_id;
-  area.last_write_event = m.event_id;
-  area.last_access_rank = m.src;
-  area.last_write_rank = m.src;
+  detector_.store_access(m.area, rank_, clock_.vector(), /*is_write=*/true, m.src,
+                         m.event_id);
   events_.annotate_apply(m.event_id, clock_.vector());
 
   Message ack;
@@ -571,20 +528,16 @@ sim::Time Nic::serve_get(const Message& m) {
   }
   bool raced = false;
   if (m.flag && config_.mode != DetectorMode::kOff) {
-    const auto verdict = core::check_access(
-        config_.mode, AccessKind::kRead, m.src, m.clock,
-        core::StoredClocks{area.v_clock(), area.w_clock(), area.last_access_rank,
-                           area.last_write_rank, area.v_state.epoch(),
-                           area.w_state.epoch()});
+    const auto verdict =
+        detector_.check_one(config_.mode, AccessKind::kRead, m.src, m.clock, m.area);
     if (verdict.race) {
       record_home_report(AccessKind::kRead, m, area, verdict);
       raced = true;
     }
   }
   clock_.receive_event(m.src, m.clock);
-  area.v_state.store_event(rank_, clock_.vector());
-  area.last_access_event = m.event_id;
-  area.last_access_rank = m.src;
+  detector_.store_access(m.area, rank_, clock_.vector(), /*is_write=*/false, m.src,
+                         m.event_id);
   events_.annotate_apply(m.event_id, clock_.vector());
 
   Message resp;
@@ -616,11 +569,8 @@ void Nic::record_home_report(AccessKind kind, const Message& m, const mem::Area&
   report.event_id = m.event_id;
   report.accessor_clock = m.clock;
   report.against = verdict.against;
-  report.stored_clock =
-      verdict.against == core::ComparedAgainst::kW ? area.w_clock() : area.v_clock();
-  report.prior_event_id = verdict.against == core::ComparedAgainst::kW
-                              ? area.last_write_event
-                              : area.last_access_event;
+  report.stored_clock = detector_.prior_clock(area.id, verdict.against);
+  report.prior_event_id = detector_.prior_event(area.id, verdict.against);
   races_.record(std::move(report));
 }
 

@@ -42,6 +42,7 @@
 #include "core/race_report.hpp"
 #include "core/rules.hpp"
 #include "core/types.hpp"
+#include "detect/sharded_detector.hpp"
 #include "mem/global_address.hpp"
 #include "mem/public_segment.hpp"
 #include "net/fabric.hpp"
@@ -87,7 +88,8 @@ struct UserLockResult {
 class Nic {
  public:
   Nic(Rank rank, sim::Engine& engine, net::Fabric& fabric, mem::PublicSegment& segment,
-      NodeClock& clock, NicConfig config, core::RaceLog& races, core::EventLog& events);
+      detect::ShardedDetector& detector, NodeClock& clock, NicConfig config,
+      core::RaceLog& races, core::EventLog& events);
 
   Nic(const Nic&) = delete;
   Nic& operator=(const Nic&) = delete;
@@ -95,6 +97,7 @@ class Nic {
   Rank rank() const { return rank_; }
   NodeClock& node_clock() { return clock_; }
   mem::PublicSegment& segment() { return segment_; }
+  detect::ShardedDetector& detector() { return detector_; }
   LockManager& locks() { return locks_; }
   const NicConfig& config() const { return config_; }
 
@@ -142,13 +145,11 @@ class Nic {
   std::vector<std::string> pending_ops() const;
 
   /// The area resolver (exposed for the runtime layer's event logging).
-  /// Caches the last hit per *thread*: consecutive operations
-  /// overwhelmingly resolve into the same area, and area ranges are
-  /// immutable with stable addresses (PublicSegment), so a cached area
-  /// containing the queried range is always the correct answer — no
-  /// invalidation needed. The cache entry is thread-local and keyed by a
-  /// process-unique NIC id, making concurrent resolves race-free.
-  /// Thread-safe.
+  /// A direct delegation to the installed resolver — PublicSegment's
+  /// amortized sorted index made the old thread-local one-entry cache (and
+  /// its process-unique key machinery) dead weight, so lookups now go
+  /// straight to the shared index. Read-only over immutable, stably
+  /// addressed areas: thread-safe once registrations have quiesced.
   const mem::Area* resolve(Rank rank, std::uint32_t offset, std::uint32_t len) const;
 
  private:
@@ -190,6 +191,7 @@ class Nic {
   sim::Engine& engine_;
   net::Fabric& fabric_;
   mem::PublicSegment& segment_;
+  detect::ShardedDetector& detector_;
   NodeClock& clock_;
   NicConfig config_;
   core::RaceLog& races_;
@@ -197,14 +199,6 @@ class Nic {
   AreaResolver resolver_;
   record::Recorder* recorder_ = nullptr;
   LockManager locks_;
-
-  /// Key of this NIC's entries in the thread-local resolver cache (see
-  /// Nic::resolve): process-unique and never reused, so a pool thread that
-  /// ran a different (since-destroyed) World can never take a stale hit —
-  /// or dereference its dangling Area* — against this NIC. A plain mutable
-  /// member cache was a write-on-the-lookup-path data race once resolves
-  /// run from concurrent threads.
-  const std::uint64_t resolver_cache_key_;
 
   std::uint64_t next_op_ = 1;
   std::unordered_map<std::uint64_t, sim::Promise<net::Message>> pending_;

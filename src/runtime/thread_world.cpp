@@ -26,12 +26,12 @@ std::chrono::microseconds capped(std::uint64_t virtual_ns,
 
 ThreadWorld::Node::Node(Rank rank, const ThreadWorldConfig& config)
     : segment(rank, config.segment_bytes, static_cast<std::size_t>(config.nprocs)),
-      stripes(new std::mutex[static_cast<std::size_t>(config.stripes)]) {}
+      detector(static_cast<std::size_t>(config.nprocs), rank, config.stripes) {}
 
 ThreadWorld::ThreadWorld(ThreadWorldConfig config)
     : config_(config), fabric_(config.nprocs) {
   DSMR_REQUIRE(config_.nprocs > 0, "ThreadWorld needs at least one rank");
-  DSMR_REQUIRE(config_.stripes > 0, "ThreadWorld needs at least one stripe");
+  DSMR_REQUIRE(config_.stripes > 0, "ThreadWorld needs at least one detector shard");
   if (config_.recorder != nullptr) {
     const record::LogHeader& header = config_.recorder->header();
     DSMR_REQUIRE(header.backend == record::Backend::kThread &&
@@ -73,6 +73,7 @@ mem::GlobalAddress ThreadWorld::alloc(Rank home, std::uint32_t bytes, std::strin
   DSMR_REQUIRE(home >= 0 && home < config_.nprocs, "alloc home " << home << " out of range");
   Node& node = *nodes_[static_cast<std::size_t>(home)];
   const mem::AreaId id = node.segment.allocate_area(bytes, std::move(name));
+  node.detector.register_area(id);
   node.user_locks.push_back(std::make_unique<UserLock>());
   DSMR_CHECK_MSG(node.user_locks.size() == node.segment.area_count(),
                  "user-lock table out of step with the area table");
@@ -147,9 +148,9 @@ ThreadProcess& ThreadWorld::process(Rank rank) {
   return *processes_[static_cast<std::size_t>(rank)];
 }
 
-std::mutex& ThreadWorld::stripe(Rank home, mem::AreaId area) {
-  Node& node = *nodes_[static_cast<std::size_t>(home)];
-  return node.stripes[area % static_cast<mem::AreaId>(config_.stripes)];
+detect::ShardedDetector& ThreadWorld::detector(Rank rank) {
+  DSMR_REQUIRE(rank >= 0 && rank < config_.nprocs, "detector rank out of range");
+  return nodes_[static_cast<std::size_t>(rank)]->detector;
 }
 
 const record::Event* ThreadWorld::replay_enter(Rank rank, record::EventKind kind,
@@ -196,8 +197,11 @@ void ThreadWorld::record_race(core::AccessKind kind, Rank accessor, Rank home,
   report.event_id = event_id;
   report.accessor_clock = accessor_clock;
   report.against = verdict.against;
+  // Caller holds the area's shard mutex, so this read is under the same
+  // critical section as the verdict it explains.
   report.stored_clock =
-      verdict.against == core::ComparedAgainst::kW ? area.w_clock() : area.v_clock();
+      nodes_[static_cast<std::size_t>(home)]->detector.prior_clock(area.id,
+                                                                   verdict.against);
   report.prior_event_id = prior_event_id;
   std::lock_guard<std::mutex> guard(races_mutex_);
   races_.record(std::move(report));
@@ -246,37 +250,27 @@ void ThreadProcess::put(mem::GlobalAddress dst, const std::vector<std::byte>& da
   const bool acked = world_.config_.acked_puts;
   clocks::VectorClock completion;  ///< pre-update V ∨ W, merged on ack.
   {
-    std::lock_guard<std::mutex> guard(world_.stripe(dst.rank, area->id));
+    detect::ShardedDetector& det = node->detector;
+    std::lock_guard<std::mutex> guard(det.shard_mutex(area->id));
     ++checks_;
-    // Linearization point: the stamp is taken under the stripe mutex, so
+    // Linearization point: the stamp is taken under the shard mutex, so
     // the merged log orders this op against every other op on the area
     // exactly as the run did.
     if (rec != nullptr) {
       rec->record_thread(rank_, record::EventKind::kThreadPut, flat, data.size());
     }
-    const core::StoredClocks stored{area->v_clock(),        area->w_clock(),
-                                    area->last_access_rank, area->last_write_rank,
-                                    area->v_state.epoch(),  area->w_state.epoch()};
-    const core::Verdict verdict =
-        core::check_access(world_.config_.mode, core::AccessKind::kWrite, rank_,
-                           clock_, stored);
+    const core::Verdict verdict = det.check_one(
+        world_.config_.mode, core::AccessKind::kWrite, rank_, clock_, area->id);
     if (verdict.race) {
       world_.record_race(core::AccessKind::kWrite, rank_, dst.rank, *area, clock_,
                          verdict, event_id,
-                         verdict.against == core::ComparedAgainst::kW
-                             ? area->last_write_event
-                             : area->last_access_event);
+                         det.prior_event(area->id, verdict.against));
     }
     if (acked) {
-      completion = area->v_clock();
-      completion.merge_from(area->w_clock());
+      completion = det.v_clock(area->id);
+      completion.merge_from(det.w_clock(area->id));
     }
-    area->v_state.store_event(rank_, clock_);
-    area->w_state.store_event(rank_, clock_);
-    area->last_access_rank = rank_;
-    area->last_write_rank = rank_;
-    area->last_access_event = event_id;
-    area->last_write_event = event_id;
+    det.store_access(area->id, rank_, clock_, /*is_write=*/true, rank_, event_id);
     node->segment.write_bytes(dst.offset, data);
   }
   if (acked) clock_.merge_from(completion);
@@ -317,28 +311,21 @@ std::vector<std::byte> ThreadProcess::get(mem::GlobalAddress src, std::uint32_t 
   clocks::VectorClock reads_from;  ///< the stored W this get observed.
   std::vector<std::byte> data;
   {
-    std::lock_guard<std::mutex> guard(world_.stripe(src.rank, area->id));
+    detect::ShardedDetector& det = node->detector;
+    std::lock_guard<std::mutex> guard(det.shard_mutex(area->id));
     ++checks_;
     if (rec != nullptr) {
       rec->record_thread(rank_, record::EventKind::kThreadGet, flat, len);
     }
-    const core::StoredClocks stored{area->v_clock(),        area->w_clock(),
-                                    area->last_access_rank, area->last_write_rank,
-                                    area->v_state.epoch(),  area->w_state.epoch()};
-    const core::Verdict verdict =
-        core::check_access(world_.config_.mode, core::AccessKind::kRead, rank_,
-                           clock_, stored);
+    const core::Verdict verdict = det.check_one(
+        world_.config_.mode, core::AccessKind::kRead, rank_, clock_, area->id);
     if (verdict.race) {
       world_.record_race(core::AccessKind::kRead, rank_, src.rank, *area, clock_,
                          verdict, event_id,
-                         verdict.against == core::ComparedAgainst::kW
-                             ? area->last_write_event
-                             : area->last_access_event);
+                         det.prior_event(area->id, verdict.against));
     }
-    reads_from = area->w_clock();
-    area->v_state.store_event(rank_, clock_);
-    area->last_access_rank = rank_;
-    area->last_access_event = event_id;
+    reads_from = det.w_clock(area->id);
+    det.store_access(area->id, rank_, clock_, /*is_write=*/false, rank_, event_id);
     data = node->segment.read_bytes(src.offset, len);
   }
   clock_.merge_from(reads_from);

@@ -11,12 +11,14 @@
 // schedule (docs/testing.md, "Backends").
 //
 // Detection model. Each one-sided op ticks the initiator's thread-confined
-// vector clock and checks inline, under the home's per-area *stripe* mutex
-// (stripe = area id mod stripes — the per-NIC striped locking of a real
-// home NIC), against the area's stored state:
+// vector clock and checks inline against the home's detect::ShardedDetector,
+// under that detector's shard mutex (shard = area id mod shards — the
+// detector's own partitioning, which replaced the ad-hoc per-home stripe
+// array this backend carried before the detector was extracted):
 //
-//   tick; lock stripe; core::check_access(issue clock vs V/W);
-//   store V (and W for writes) := issue clock; move the bytes; unlock.
+//   tick; lock shard; detector.check_one(issue clock vs V/W lane);
+//   detector.store_access(V, and W for writes) := issue clock;
+//   move the bytes; unlock.
 //
 // The stored clock is the *initiator's issue clock* (a genuine event clock,
 // so the epoch O(1) fast path applies — and debug builds auto-cross-check
@@ -36,8 +38,8 @@
 //    when acked_puts — matching the sim's ack-carries-home-clock regime.
 //
 // Logically racy programs stay *physically* race-free (TSan-clean): every
-// byte of shared payload moves under the area's stripe mutex; a flagged
-// race is a property of the clocks, not a torn access.
+// byte of shared payload moves under the area's detector shard mutex; a
+// flagged race is a property of the clocks, not a torn access.
 //
 // Shutdown is unconditional: every blocking wait carries the run deadline,
 // so an orphaned wait (deadlocked program) becomes a reported stuck rank
@@ -58,6 +60,7 @@
 #include "core/race_report.hpp"
 #include "core/rules.hpp"
 #include "core/types.hpp"
+#include "detect/sharded_detector.hpp"
 #include "mem/global_address.hpp"
 #include "mem/public_segment.hpp"
 #include "net/thread_fabric.hpp"
@@ -78,8 +81,9 @@ struct ThreadWorldConfig {
   bool lock_clock_handoff = true;
   bool acked_puts = true;
   std::uint32_t segment_bytes = 1 << 20;  ///< public memory per rank.
-  /// Detector stripes per home: concurrent ops on different areas of one
-  /// home contend only when area ids collide mod `stripes`.
+  /// Shard count of each home's detect::ShardedDetector: concurrent ops on
+  /// different areas of one home contend only when area ids collide mod
+  /// `stripes`. (Field name kept from the pre-extraction stripe array.)
   int stripes = 8;
   /// Join watchdog: every blocking wait gives up this long after run()
   /// starts, turning any deadlock into stuck ranks instead of a hang.
@@ -135,6 +139,7 @@ class ThreadWorld {
   // ---- inspection (post-run unless noted) ----
   core::RaceLog& races() { return races_; }
   mem::PublicSegment& segment(Rank rank);
+  detect::ShardedDetector& detector(Rank rank);
   ThreadProcess& process(Rank rank);
   /// Folded traffic ledger (per-rank shards merged; see ThreadFabric).
   net::TrafficCounters traffic() const { return fabric_.fold(); }
@@ -162,12 +167,12 @@ class ThreadWorld {
   struct Node {
     Node(Rank rank, const ThreadWorldConfig& config);
     mem::PublicSegment segment;
-    std::unique_ptr<std::mutex[]> stripes;
+    /// This home's detection state — V/W lanes plus the shard mutexes ops
+    /// lock around their check/store/data-move critical sections.
+    detect::ShardedDetector detector;
     /// One lock per registered area, indexed by AreaId. Grown pre-run only.
     std::vector<std::unique_ptr<UserLock>> user_locks;
   };
-
-  std::mutex& stripe(Rank home, mem::AreaId area);
   /// Blocks until the replay gate's cursor reaches an event owned by `rank`,
   /// then checks it is the expected (kind, detail) — a mismatch means the
   /// program being replayed is not the one that was recorded. Returns the

@@ -12,9 +12,11 @@ namespace dsmr::runtime {
 
 World::Node::Node(Rank rank, World& world)
     : segment(rank, world.config_.segment_bytes, static_cast<std::size_t>(world.config_.nprocs)),
+      detector(static_cast<std::size_t>(world.config_.nprocs), rank,
+               world.config_.detector_shards),
       clock(static_cast<std::size_t>(world.config_.nprocs), rank,
             world.config_.track_matrix_clocks),
-      nic(rank, world.engine_, world.fabric_, segment, clock,
+      nic(rank, world.engine_, world.fabric_, segment, detector, clock,
           nic::NicConfig{world.config_.mode, world.config_.transport,
                          world.config_.lock_clock_handoff},
           world.races_, world.events_) {}
@@ -67,8 +69,10 @@ void World::set_recorder(record::Recorder* recorder) {
 
 mem::GlobalAddress World::alloc(Rank home, std::uint32_t bytes, std::string name) {
   DSMR_REQUIRE(home >= 0 && home < config_.nprocs, "alloc: bad rank " << home);
-  auto& segment = nodes_[static_cast<std::size_t>(home)]->segment;
+  auto& node = *nodes_[static_cast<std::size_t>(home)];
+  auto& segment = node.segment;
   const mem::AreaId id = segment.allocate_area(bytes, std::move(name));
+  node.detector.register_area(id);
   if (recorder_ != nullptr) {
     recorder_->register_area(home, id, bytes, segment.area(id).name);
   }
@@ -138,6 +142,11 @@ mem::PublicSegment& World::segment(Rank rank) {
   return nodes_[static_cast<std::size_t>(rank)]->segment;
 }
 
+detect::ShardedDetector& World::detector(Rank rank) {
+  DSMR_REQUIRE(rank >= 0 && rank < config_.nprocs, "detector: bad rank " << rank);
+  return nodes_[static_cast<std::size_t>(rank)]->detector;
+}
+
 nic::Nic& World::nic(Rank rank) {
   DSMR_REQUIRE(rank >= 0 && rank < config_.nprocs, "nic: bad rank " << rank);
   return nodes_[static_cast<std::size_t>(rank)]->nic;
@@ -155,7 +164,7 @@ Process& World::process(Rank rank) {
 
 std::size_t World::total_clock_bytes() const {
   std::size_t total = 0;
-  for (const auto& node : nodes_) total += node->segment.total_clock_bytes();
+  for (const auto& node : nodes_) total += node->detector.storage_bytes();
   return total;
 }
 

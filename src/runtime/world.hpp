@@ -13,6 +13,7 @@
 #include "core/event_log.hpp"
 #include "core/race_report.hpp"
 #include "core/types.hpp"
+#include "detect/sharded_detector.hpp"
 #include "mem/global_address.hpp"
 #include "mem/public_segment.hpp"
 #include "net/sim_fabric.hpp"
@@ -38,6 +39,10 @@ struct WorldConfig {
   int nprocs = 2;
   std::uint64_t seed = 1;
   core::DetectorMode mode = core::DetectorMode::kDualClock;
+  /// Lock shards per node detector (detect::ShardedDetector). The sim runs
+  /// single-threaded, so 1 is right for it; >1 exists so the
+  /// shard-equivalence suite can prove the partitioning is verdict-neutral.
+  int detector_shards = 1;
   core::Transport transport = core::Transport::kHomeSide;
   net::LatencyModel latency{};
   /// Delay-bound schedule perturbation (sim/perturb.hpp): seeded extra skew
@@ -122,6 +127,7 @@ class World {
   const net::TrafficCounters& traffic() const { return fabric_.counters(); }
   void reset_traffic() { fabric_.reset_counters(); }
   mem::PublicSegment& segment(Rank rank);
+  detect::ShardedDetector& detector(Rank rank);
   nic::Nic& nic(Rank rank);
   nic::NodeClock& node_clock(Rank rank);
   Process& process(Rank rank);
@@ -147,6 +153,7 @@ class World {
   struct Node {
     Node(Rank rank, World& world);
     mem::PublicSegment segment;
+    detect::ShardedDetector detector;  ///< declared before nic (init order).
     nic::NodeClock clock;
     nic::Nic nic;
   };

@@ -1,6 +1,10 @@
 // Unit tests for public memory segments and registered areas.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+
+#include "detect/sharded_detector.hpp"
 #include "mem/public_segment.hpp"
 #include "nic/nic.hpp"
 #include "runtime/world.hpp"
@@ -79,29 +83,33 @@ TEST(PublicSegment, ReadWriteRoundTrip) {
   EXPECT_EQ(seg.read_bytes(9, 1)[0], std::byte{0});
 }
 
-TEST(PublicSegment, AreasCarryClocksSizedToProcessCount) {
-  PublicSegment seg(1, 256, 8);
-  const AreaId a = seg.allocate_area(16, "x");
-  EXPECT_EQ(seg.area(a).v_clock().size(), 8u);
-  EXPECT_EQ(seg.area(a).w_clock().size(), 8u);
-  EXPECT_TRUE(seg.area(a).v_clock().is_zero());
-  // Fresh areas are epoch-summarized: both states witness the home's
+TEST(DetectorState, AreasCarryClocksSizedToProcessCount) {
+  // Detection state moved out of mem::Area into detect::ShardedDetector
+  // (keyed by the same dense AreaId); the invariants carried over.
+  detect::ShardedDetector det(8, /*home=*/1, /*shards=*/1);
+  det.register_area(0);
+  EXPECT_EQ(det.v_clock(0).size(), 8u);
+  EXPECT_EQ(det.w_clock(0).size(), 8u);
+  EXPECT_TRUE(det.v_clock(0).is_zero());
+  // Fresh areas are epoch-summarized: both lanes witness the home's
   // fictitious 0th event.
-  EXPECT_TRUE(seg.area(a).v_state.summarized());
-  EXPECT_EQ(seg.area(a).v_state.epoch(), (clocks::Epoch{1, 0}));
+  EXPECT_TRUE(det.v_epoch(0).valid());
+  EXPECT_EQ(det.v_epoch(0), (clocks::Epoch{1, 0}));
 }
 
-TEST(PublicSegment, ClockBytesAccounting) {
+TEST(DetectorState, ClockBytesAccounting) {
   // §V.A: storage overhead = 2 clock states per area, charged at the
   // compact encoding (n varints) plus the epoch witness while summarized —
   // strictly below the fixed 2 × n × 8 bytes the paper counts.
-  PublicSegment seg(0, 1024, 10);
-  seg.allocate_area(8, "a");
-  seg.allocate_area(8, "b");
-  const std::size_t per_state = seg.area(0).v_state.storage_bytes();
+  detect::ShardedDetector det(10, /*home=*/0, /*shards=*/1);
+  det.register_areas(2);
+  const std::size_t per_state = det.v_storage_bytes(0);
   EXPECT_EQ(per_state, 10u + (clocks::Epoch{0, 0}).wire_size());
-  EXPECT_EQ(seg.total_clock_bytes(), 2u * 2u * per_state);
-  EXPECT_LT(seg.total_clock_bytes(), 2u * 2u * 10u * sizeof(ClockValue));
+  EXPECT_EQ(det.storage_bytes(), 2u * 2u * per_state);
+  EXPECT_LT(det.storage_bytes(), 2u * 2u * 10u * sizeof(ClockValue));
+  // Cold areas alias the shared zero clock: no storage is materialized
+  // until an access is actually stored.
+  EXPECT_EQ(det.resident_clock_bytes(), 0u);
 }
 
 TEST(PublicSegment, AdjacentAreasShareBoundariesExactly) {
@@ -147,11 +155,12 @@ TEST(PublicSegmentDeath, GapFillOverlapsAreRejectedOnBothSides) {
   EXPECT_DEATH(seg.register_area(33, 32, "hits-high"), "overlaps");
 }
 
-TEST(NicResolverCache, StaysCorrectAcrossNewRegistrations) {
-  // The NIC keeps a one-entry (rank, area) resolver cache justified by
-  // areas being immutable with stable addresses. Registering *new* areas
-  // afterwards must never invalidate a cached answer or mask a new area —
-  // exactly the access pattern of the fuzzer's incremental allocations.
+TEST(NicResolve, StaysCorrectAcrossNewRegistrations) {
+  // Nic::resolve is now a direct delegation to the shared amortized index
+  // (the old thread-local one-entry cache is gone). Registering *new* areas
+  // between lookups must never stale an earlier answer or mask a new area —
+  // exactly the access pattern of the fuzzer's incremental allocations —
+  // and returned pointers must stay stable across registrations.
   runtime::WorldConfig config;
   config.nprocs = 2;
   runtime::World world(config);
@@ -161,27 +170,58 @@ TEST(NicResolverCache, StaysCorrectAcrossNewRegistrations) {
   const Area* area_a = nic.resolve(0, a.offset, 8);
   ASSERT_NE(area_a, nullptr);
   EXPECT_EQ(area_a->name, "a");
-  // Cache hit: contained sub-range of the same area.
+  // Contained sub-range of the same area resolves to the same object.
   EXPECT_EQ(nic.resolve(0, a.offset + 32, 8), area_a);
 
-  // New adjacent registration while "a" is the cached entry.
+  // New adjacent registration between lookups.
   const auto b = world.alloc(0, 32, "b");
   const Area* area_b = nic.resolve(0, b.offset, 32);
   ASSERT_NE(area_b, nullptr);
   EXPECT_EQ(area_b->name, "b");
   // A range straddling the a/b adjacency resolves to no area even though
-  // the cached entry ("b") abuts it.
+  // "b" abuts it.
   EXPECT_EQ(nic.resolve(0, a.offset + 60, 8), nullptr);
   // The earlier pointer is still stable and still served.
   EXPECT_EQ(nic.resolve(0, a.offset, 64), area_a);
 
-  // Cross-rank query with a rank-0 entry cached: must not hit the cache.
+  // Cross-rank queries interleaved with rank-0 lookups stay exact.
   const auto remote = world.alloc(1, 16, "remote");
   const Area* area_remote = nic.resolve(1, remote.offset, 16);
   ASSERT_NE(area_remote, nullptr);
   EXPECT_EQ(area_remote->name, "remote");
-  // And back: the cache now holds rank 1, rank-0 lookups stay correct.
   EXPECT_EQ(nic.resolve(0, b.offset, 8), area_b);
+}
+
+TEST(PublicSegment, OutOfOrderRegistrationKeepsLookupExact) {
+  // The index keeps a sorted prefix plus a small unsorted tail that is
+  // periodically merged (amortized insertion). Registering areas in a
+  // shuffled order — enough of them to force several tail flushes — must
+  // leave every lookup exact.
+  PublicSegment seg(0, 8192, 2);
+  std::vector<std::uint32_t> offsets;
+  for (std::uint32_t i = 0; i < 200; ++i) offsets.push_back(i * 32);
+  std::mt19937 rng(7);
+  std::shuffle(offsets.begin(), offsets.end(), rng);
+  for (const std::uint32_t offset : offsets) {
+    seg.register_area(offset, 32, "a" + std::to_string(offset));
+  }
+  EXPECT_EQ(seg.area_count(), 200u);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const Area* found = seg.find_area(i * 32, 32);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->offset, i * 32);
+    // Straddles across every adjacency are still rejected.
+    if (i + 1 < 200) EXPECT_EQ(seg.find_area(i * 32 + 16, 32), nullptr);
+  }
+}
+
+TEST(PublicSegmentDeath, OverlapWithUnflushedTailIsRejected) {
+  // Overlap rejection must see areas still sitting in the unsorted tail,
+  // not just the sorted prefix.
+  PublicSegment seg(0, 1024, 2);
+  seg.register_area(64, 32, "prefix");
+  seg.register_area(0, 32, "tail");  // below the prefix: lands in the tail.
+  EXPECT_DEATH(seg.register_area(16, 32, "hits-tail"), "overlaps");
 }
 
 TEST(GlobalAddress, PlusAndToString) {

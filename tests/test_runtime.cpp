@@ -422,7 +422,7 @@ TEST(Runtime, ClockBytesScaleWithProcessesAndAreas) {
     world.alloc(0, 8, "a");
     world.alloc(0, 8, "b");
     world.alloc(1 % n, 8, "c");
-    const std::size_t per_area = world.segment(0).area(0).clock_bytes();
+    const std::size_t per_area = world.detector(0).area_storage_bytes(0);
     EXPECT_EQ(per_area, 2u * (static_cast<std::size_t>(n) + 2u));
     EXPECT_EQ(world.total_clock_bytes(), 3u * per_area);
     EXPECT_LT(world.total_clock_bytes(), 3u * 2u * static_cast<std::size_t>(n) * 8u);

@@ -96,11 +96,11 @@ TEST(Fig4, DualClockMemoryCostIsTwiceSingleClock) {
   // survives the compact representation: both states cost the same.
   World world(figure_config(3));
   const GlobalAddress a = world.alloc(1, 8, "a");
-  const auto& area = world.segment(1).area(0);
-  EXPECT_EQ(area.clock_bytes(),
-            area.v_state.storage_bytes() + area.w_state.storage_bytes());
-  EXPECT_EQ(area.v_state.storage_bytes(), area.w_state.storage_bytes());
-  EXPECT_EQ(area.clock_bytes(), 2u * area.v_state.storage_bytes());
+  const auto& det = world.detector(1);
+  EXPECT_EQ(det.area_storage_bytes(0),
+            det.v_storage_bytes(0) + det.w_storage_bytes(0));
+  EXPECT_EQ(det.v_storage_bytes(0), det.w_storage_bytes(0));
+  EXPECT_EQ(det.area_storage_bytes(0), 2u * det.v_storage_bytes(0));
   (void)a;
 }
 

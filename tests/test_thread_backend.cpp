@@ -272,13 +272,15 @@ TEST(ThreadBackend, ReadsDoNotRaceWithReadsUnderDualClock) {
 }
 
 // ---------------------------------------------------------------------------
-// Satellite regressions: resolver cache, counter sharding
+// Satellite regressions: area resolution, counter sharding
 // ---------------------------------------------------------------------------
 
-TEST(ThreadBackend, SimNicResolverCacheIsSafeAndExactUnderEightThreads) {
-  // Regression for the old one-entry mutable member cache: resolve() wrote
-  // it on the lookup path, so concurrent resolves were a data race (TSan)
-  // and a stale-hit source. The cache is now per (thread, NIC id).
+TEST(ThreadBackend, SimNicResolveIsSafeAndExactUnderEightThreads) {
+  // Regression held across two generations of resolver: the original
+  // one-entry mutable member cache (a data race under TSan and a stale-hit
+  // source), then a thread_local keyed cache, now a direct delegation to the
+  // segment's read-only index. Concurrent lookups must stay exact and
+  // TSan-clean with no per-thread state at all.
   runtime::WorldConfig config;
   config.nprocs = 2;
   runtime::World world(config);

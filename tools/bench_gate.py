@@ -19,16 +19,42 @@ Three classes of metric, treated differently:
   ``bytes_per_op``) — pure simulator outputs, deterministic per seed, so
   ANY drift is a semantic change (protocol message count, clock wire
   format, event-log encoding) and fails exactly. Refresh the baseline when
-  the change is intentional.
+  the change is intentional. ``piggyback_clock_bytes`` falls in this
+  class: the delta-compressed dual-clock wire cost is a function of the
+  codec alone, so its bytes/op must match the baseline exactly.
+* detect batched-check speedup (``detect_check_scale``) — batched
+  ``check_range`` over the sharded detector vs the legacy per-area
+  ``check_access`` pattern, same run, same 10^6-area detector. Two gates:
+  an ABSOLUTE floor (default 4.0x, the acceptance criterion of the
+  sharded-detector redesign) applied to ``pattern=cold`` axes only (the
+  production-scale claim; ``pattern=blocks64`` is reported but not floored
+  — warm runs are shorter so the batch win is structurally smaller), and
+  the usual relative-to-baseline mean-speedup floor shared with the epoch
+  gate (machine speed cancels in both).
+* shard scaling (``detect_shard_scaling``) — 8-thread contended ns/op at
+  1, 2 and 8 shards from the same run. Fails when 8 shards is slower than
+  2 shards by more than the slack allows (default: 8-shard throughput
+  must stay >= 85% of 2-shard). Absolute within-run gate, no baseline
+  needed; on few-core CI boxes more shards cannot help much, but they
+  must not hurt.
+* registration scaling (``detect_registration``) — amortized ns/area for
+  the full registration path (PublicSegment index insert + detector
+  register_area) at 16k vs 10^6 areas, same run. Fails when the large/small
+  ratio exceeds the ceiling (default 10.0): a return to the O(n) sorted-
+  vector insert shows up as a ratio in the hundreds, while cache effects
+  on a healthy amortized path stay single-digit.
 
 Both commands accept several JSON files (one per bench binary); their
 entries are merged before comparing or refreshing.
 
 Usage:
   tools/bench_gate.py compare build/BENCH_overhead.json build/BENCH_record_overhead.json
+                              build/BENCH_detect_scale.json
                               [--baseline bench/baseline.json] [--threshold 0.25]
-                              [--record-threshold 0.5]
+                              [--record-threshold 0.5] [--detect-floor 4.0]
+                              [--shard-slack 0.85] [--registration-ceiling 10.0]
   tools/bench_gate.py refresh build/BENCH_overhead.json build/BENCH_record_overhead.json
+                              build/BENCH_detect_scale.json
                               [--baseline bench/baseline.json]
 
 Exit status: 0 pass, 1 regression, 2 usage/IO error.
@@ -84,6 +110,33 @@ def epoch_speedups(entries):
     return {n: paths["oracle"] / paths["epoch"]
             for n, paths in by_path.items()
             if "oracle" in paths and "epoch" in paths and paths["epoch"] > 0}
+
+
+def detect_speedups(entries):
+    """Per (n, pattern): scalar ns/check ÷ batched ns/check from the same run."""
+    by_axis = {}
+    for (name, params), entry in entries.items():
+        if name != "detect_check_scale":
+            continue
+        p = dict(params)
+        by_axis.setdefault((p["n"], p["pattern"]), {})[p["path"]] = entry["ns_per_op"]
+    return {axis: paths["scalar"] / paths["batch"]
+            for axis, paths in by_axis.items()
+            if paths.get("batch", 0) > 0 and "scalar" in paths}
+
+
+def shard_scaling_ns(entries):
+    """Contended ns/op keyed by shard count (int), from detect_shard_scaling."""
+    return {int(dict(params)["shards"]): entry["ns_per_op"]
+            for (name, params), entry in entries.items()
+            if name == "detect_shard_scaling"}
+
+
+def registration_ns(entries):
+    """Registration ns/area keyed by area count (int), from detect_registration."""
+    return {int(dict(params)["areas"]): entry["ns_per_op"]
+            for (name, params), entry in entries.items()
+            if name == "detect_registration"}
 
 
 def record_ratios(entries):
@@ -162,6 +215,73 @@ def compare(args):
                     f"x{fresh_ratios[config]:.2f} exceeds x{ceiling:.2f} "
                     f"(+{args.record_threshold:.0%} of baseline)")
 
+    base_detect = detect_speedups(baseline)
+    fresh_detect = detect_speedups(fresh)
+    if fresh_detect or base_detect:
+        for axis in sorted(fresh_detect, key=lambda a: (int(a[0]), a[1])):
+            n, pattern = axis
+            line = (f"detect batch speedup at n={n} pattern={pattern}: "
+                    f"x{fresh_detect[axis]:.1f}")
+            if axis in base_detect:
+                line += f" (baseline x{base_detect[axis]:.1f})"
+            print(line)
+        cold = {a: s for a, s in fresh_detect.items() if a[1] == "cold"}
+        if not cold:
+            failures.append("no detect_check_scale pattern=cold batch/scalar "
+                            "pair found to gate on")
+        for axis, speedup in sorted(cold.items(), key=lambda kv: int(kv[0][0])):
+            if speedup < args.detect_floor:
+                failures.append(
+                    f"detect batched check at n={axis[0]} pattern=cold: "
+                    f"x{speedup:.1f} below the x{args.detect_floor:.1f} "
+                    f"absolute acceptance floor")
+        shared = sorted(set(base_detect) & set(fresh_detect))
+        if shared:
+            base_mean = sum(base_detect[a] for a in shared) / len(shared)
+            fresh_mean = sum(fresh_detect[a] for a in shared) / len(shared)
+            floor = base_mean * (1.0 - args.threshold)
+            print(f"detect batch mean speedup: baseline x{base_mean:.1f}, "
+                  f"now x{fresh_mean:.1f} (floor x{floor:.1f})")
+            if fresh_mean < floor:
+                failures.append(
+                    f"detect batched check regressed: mean speedup "
+                    f"x{fresh_mean:.1f} fell below x{floor:.1f} "
+                    f"(-{args.threshold:.0%} of baseline)")
+
+    shards = shard_scaling_ns(fresh)
+    if shards:
+        if shards.get(2, 0) > 0 and 8 in shards:
+            ceiling = shards[2] / args.shard_slack
+            print(f"shard scaling, 8 threads contended: 2 shards "
+                  f"{shards[2]:.1f} ns/op, 8 shards {shards[8]:.1f} ns/op "
+                  f"(ceiling {ceiling:.1f})")
+            if shards[8] > ceiling:
+                failures.append(
+                    f"8-shard contended throughput fell below "
+                    f"{args.shard_slack:.0%} of 2-shard: {shards[8]:.1f} ns/op "
+                    f"exceeds {ceiling:.1f} ns/op")
+        else:
+            failures.append("detect_shard_scaling entries present but the "
+                            "2- and 8-shard pair needed to gate is missing")
+
+    reg = registration_ns(fresh)
+    if reg:
+        small, large = min(reg), max(reg)
+        if small != large and reg[small] > 0:
+            ratio = reg[large] / reg[small]
+            print(f"registration amortization: {small} areas "
+                  f"{reg[small]:.1f} ns/area, {large} areas {reg[large]:.1f} "
+                  f"ns/area (ratio x{ratio:.1f}, ceiling "
+                  f"x{args.registration_ceiling:.1f})")
+            if ratio > args.registration_ceiling:
+                failures.append(
+                    f"registration stopped amortizing: {large}-area cost is "
+                    f"x{ratio:.1f} the {small}-area cost (ceiling "
+                    f"x{args.registration_ceiling:.1f})")
+        else:
+            failures.append("detect_registration needs two distinct area "
+                            "counts to gate on")
+
     for failure in failures:
         print(f"BENCH GATE FAILURE: {failure}", file=sys.stderr)
     if failures:
@@ -198,6 +318,15 @@ def main():
     parser.add_argument("--record-threshold", type=float, default=0.5,
                         help="allowed fractional growth of the record/plain "
                              "wall-clock ratio")
+    parser.add_argument("--detect-floor", type=float, default=4.0,
+                        help="absolute minimum batched/scalar check speedup "
+                             "on detect_check_scale pattern=cold axes")
+    parser.add_argument("--shard-slack", type=float, default=0.85,
+                        help="minimum fraction of 2-shard contended "
+                             "throughput that 8 shards must retain")
+    parser.add_argument("--registration-ceiling", type=float, default=10.0,
+                        help="maximum large/small ns-per-area ratio for "
+                             "detect_registration")
     args = parser.parse_args()
     sys.exit(compare(args) if args.command == "compare" else refresh(args))
 
